@@ -1,0 +1,218 @@
+package repro_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates its experiment end to end (cluster construction,
+// seeding, workload) and reports the headline metric of that figure as
+// a custom benchmark unit, so `go test -bench=.` reproduces the whole
+// evaluation section.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func BenchmarkTable1Resources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(8)
+		if !r.Fits() {
+			b.Fatal("design does not fit")
+		}
+	}
+	luts, _, _, _ := experiments.Table1(8).Totals()
+	b.ReportMetric(float64(luts), "artix-LUTs")
+}
+
+func BenchmarkTable2Resources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2(8)
+		if !r.Fits() {
+			b.Fatal("design does not fit")
+		}
+	}
+	luts, _, _, _ := experiments.Table2(8).Totals()
+	b.ReportMetric(float64(luts), "virtex-LUTs")
+}
+
+func BenchmarkTable3Power(b *testing.B) {
+	var watts float64
+	for i := 0; i < b.N; i++ {
+		watts = experiments.Table3(2).Total()
+	}
+	b.ReportMetric(watts, "node-W")
+}
+
+func BenchmarkFig11NetworkHops(b *testing.B) {
+	var gbps, latency float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig11(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		gbps = last.GbpsPerLane
+		latency = last.LatencyUs / float64(last.Hops)
+	}
+	b.ReportMetric(gbps, "Gbps/lane")
+	b.ReportMetric(latency, "us/hop")
+}
+
+func BenchmarkFig12RemoteLatency(b *testing.B) {
+	var ispf, hrhf float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Path {
+			case "ISP-F":
+				ispf = r.TotalUs
+			case "H-RH-F":
+				hrhf = r.TotalUs
+			}
+		}
+	}
+	b.ReportMetric(ispf, "ISP-F-us")
+	b.ReportMetric(hrhf, "H-RH-F-us")
+}
+
+func BenchmarkFig13Bandwidth(b *testing.B) {
+	var local, three float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Scenario {
+			case "ISP-Local":
+				local = r.GBps
+			case "ISP-3Nodes":
+				three = r.GBps
+			}
+		}
+	}
+	b.ReportMetric(local, "ISP-local-GBps")
+	b.ReportMetric(three, "ISP-3nodes-GBps")
+}
+
+func BenchmarkFig16NearestNeighbor(b *testing.B) {
+	var isp, dram16 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig16([]int{4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Series == "1 Node" && p.Threads == 4 {
+				isp = p.KCmpSec
+			}
+			if p.Series == "DRAM" && p.Threads == 16 {
+				dram16 = p.KCmpSec
+			}
+		}
+	}
+	b.ReportMetric(isp, "ISP-Kcmp/s")
+	b.ReportMetric(dram16, "DRAM16-Kcmp/s")
+}
+
+func BenchmarkFig17MostlyDRAM(b *testing.B) {
+	var flash10 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig17([]int{8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Series == "10% Flash" {
+				flash10 = p.KCmpSec
+			}
+		}
+	}
+	b.ReportMetric(flash10, "10pctFlash-Kcmp/s")
+}
+
+func BenchmarkFig18OffTheShelfSSD(b *testing.B) {
+	var rnd, seq float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig18([]int{8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			switch p.Series {
+			case "Full Flash":
+				rnd = p.KCmpSec
+			case "Seq Flash":
+				seq = p.KCmpSec
+			}
+		}
+	}
+	b.ReportMetric(rnd, "random-Kcmp/s")
+	b.ReportMetric(seq, "seq-Kcmp/s")
+}
+
+func BenchmarkFig19ISPAdvantage(b *testing.B) {
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig19([]int{8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var isp, sw float64
+		for _, p := range pts {
+			switch p.Series {
+			case "ISP":
+				isp = p.KCmpSec
+			case "BlueDBM+SW":
+				sw = p.KCmpSec
+			}
+		}
+		adv = isp / sw
+	}
+	b.ReportMetric(adv, "ISP-advantage-x")
+}
+
+func BenchmarkFig20GraphTraversal(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig20()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ispf, hrhf float64
+		for _, r := range rows {
+			switch r.Access {
+			case "ISP-F":
+				ispf = r.LookupsPerSec
+			case "H-RH-F":
+				hrhf = r.LookupsPerSec
+			}
+		}
+		ratio = ispf / hrhf
+	}
+	b.ReportMetric(ratio, "ISPF-over-HRHF-x")
+}
+
+func BenchmarkFig21StringSearch(b *testing.B) {
+	var ispMBps, speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig21()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hdd float64
+		for _, r := range rows {
+			switch r.Method {
+			case "Flash/ISP":
+				ispMBps = r.MBps
+			case "HDD/SW Grep":
+				hdd = r.MBps
+			}
+		}
+		speedup = ispMBps / hdd
+	}
+	b.ReportMetric(ispMBps, "ISP-MBps")
+	b.ReportMetric(speedup, "vs-HDD-x")
+}

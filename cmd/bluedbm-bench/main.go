@@ -1,0 +1,156 @@
+// Command bluedbm-bench regenerates the paper's evaluation: every
+// table and figure of "BlueDBM: An Appliance for Big Data Analytics"
+// (ISCA 2015), printed in the paper's layout.
+//
+// Usage:
+//
+//	bluedbm-bench                  # run everything
+//	bluedbm-bench -run fig13,fig20 # run a subset
+//	bluedbm-bench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	id   string
+	desc string
+	run  func() (string, error)
+}
+
+func allRunners() []runner {
+	return []runner{
+		{"table1", "Artix-7 flash controller resources", func() (string, error) {
+			return experiments.FormatTable1(8), nil
+		}},
+		{"table2", "Virtex-7 host FPGA resources", func() (string, error) {
+			return experiments.FormatTable2(8), nil
+		}},
+		{"table3", "node power budget", func() (string, error) {
+			return experiments.FormatTable3(2), nil
+		}},
+		{"fig11", "integrated network bandwidth/latency vs hops", func() (string, error) {
+			pts, err := experiments.Fig11(5)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig11(pts), nil
+		}},
+		{"fig12", "remote access latency breakdown", func() (string, error) {
+			rows, err := experiments.Fig12()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig12(rows), nil
+		}},
+		{"fig13", "read bandwidth by access mix", func() (string, error) {
+			rows, err := experiments.Fig13()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig13(rows), nil
+		}},
+		{"fig16", "nearest neighbor: BlueDBM vs DRAM", func() (string, error) {
+			pts, err := experiments.Fig16(nil)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatNN("Figure 16: nearest neighbor, BlueDBM up to two nodes", pts), nil
+		}},
+		{"fig17", "nearest neighbor: mostly-DRAM configurations", func() (string, error) {
+			pts, err := experiments.Fig17(nil)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatNN("Figure 17: nearest neighbor with mostly DRAM", pts), nil
+		}},
+		{"fig18", "nearest neighbor: off-the-shelf SSD", func() (string, error) {
+			pts, err := experiments.Fig18(nil)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatNN("Figure 18: nearest neighbor with off-the-shelf SSD", pts), nil
+		}},
+		{"fig19", "nearest neighbor: in-store processing advantage", func() (string, error) {
+			pts, err := experiments.Fig19(nil)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatNN("Figure 19: nearest neighbor with in-store processing", pts), nil
+		}},
+		{"fig20", "graph traversal performance", func() (string, error) {
+			rows, err := experiments.Fig20()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig20(rows), nil
+		}},
+		{"fig21", "string search bandwidth and CPU utilization", func() (string, error) {
+			rows, err := experiments.Fig21()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig21(rows), nil
+		}},
+	}
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	runners := allRunners()
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-8s %s\n", r.id, r.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *runFlag != "all" {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		known := map[string]bool{}
+		for _, r := range runners {
+			known[r.id] = true
+		}
+		var unknown []string
+		for id := range want {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "bluedbm-bench: unknown experiment(s): %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	failed := false
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		out, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bluedbm-bench: %s: %v\n", r.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

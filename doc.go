@@ -1,0 +1,17 @@
+// Package repro is a full reproduction of "BlueDBM: An Appliance for
+// Big Data Analytics" (Jun et al., ISCA 2015) as a Go library: a
+// deterministic discrete-event simulation of the hardware substrate
+// (raw NAND flash, the tag-based flash controller with real SEC-DED
+// ECC, the integrated storage network with token flow control and
+// deterministic per-endpoint routing, the PCIe host interface) plus
+// real implementations of the software stack (page-mapped FTL,
+// RFS-style flash file system) and the in-store accelerators (LSH
+// nearest-neighbor, distributed graph traversal, Morris-Pratt string
+// search).
+//
+// Start with examples/quickstart, then see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for measured-vs-paper results. The
+// bench harness in bench_test.go regenerates every table and figure of
+// the paper's evaluation; cmd/bluedbm-bench does the same from the
+// command line.
+package repro

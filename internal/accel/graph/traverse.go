@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Mode selects the traversal access path (Figure 20's bars).
+type Mode int
+
+// Traversal modes.
+const (
+	ModeISPF  Mode = iota // in-store processor reads remote flash directly
+	ModeHF                // host reads remote flash over the integrated network
+	ModeHRHF              // host reads remote flash via the remote host
+	ModeHDRAM             // host reads remote DRAM via the remote host
+	ModeMixed             // remote host serves from DRAM, PctFlash% miss to flash
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeISPF:
+		return "ISP-F"
+	case ModeHF:
+		return "H-F"
+	case ModeHRHF:
+		return "H-RH-F"
+	case ModeHDRAM:
+		return "H-DRAM"
+	case ModeMixed:
+		return "DRAM+flash"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// TraverseConfig parameterizes a run.
+type TraverseConfig struct {
+	Start    int
+	Steps    int
+	Mode     Mode
+	PctFlash int // ModeMixed: percentage of lookups served from flash
+	Seed     uint64
+	Walkers  int // parallel dependent chains; 1 matches the paper
+}
+
+// Result reports a traversal.
+type Result struct {
+	Steps         int64
+	Elapsed       sim.Time
+	LookupsPerSec float64
+	// VisitSum is a checksum over the visited vertex sequence so
+	// different access paths can be verified to walk the same graph.
+	VisitSum uint64
+}
+
+// Traverse performs dependent lookups from the home node.
+func Traverse(c *core.Cluster, home int, g *Graph, cfg TraverseConfig) (*Result, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("graph: steps must be positive")
+	}
+	if cfg.Walkers <= 0 {
+		cfg.Walkers = 1
+	}
+	node := c.Node(home)
+	res := &Result{}
+	start := c.Eng.Now()
+	remaining := 0
+
+	for w := 0; w < cfg.Walkers; w++ {
+		remaining++
+		rng := sim.NewRNG(cfg.Seed + uint64(w)*977)
+		current := (cfg.Start + w*31) % g.Vertices()
+		stepsLeft := cfg.Steps
+
+		var step func()
+		handle := func(data []byte, err error) {
+			if err != nil {
+				remaining--
+				res.VisitSum = 0
+				return
+			}
+			nbs, derr := DecodePage(data)
+			if derr != nil {
+				remaining--
+				return
+			}
+			res.Steps++
+			res.VisitSum = res.VisitSum*1099511628211 + uint64(current)
+			if len(nbs) == 0 {
+				current = rng.Intn(g.Vertices())
+			} else {
+				current = int(nbs[rng.Intn(len(nbs))])
+			}
+			stepsLeft--
+			if stepsLeft == 0 {
+				remaining--
+				return
+			}
+			step()
+		}
+		step = func() {
+			addr := g.PageOf(current)
+			switch cfg.Mode {
+			case ModeISPF:
+				node.ISPRead(addr, handle)
+			case ModeHF:
+				node.HostRead(addr, core.PathHF, nil, handle)
+			case ModeHRHF:
+				node.HostRead(addr, core.PathHRHF, nil, handle)
+			case ModeHDRAM:
+				node.HostRead(addr, core.PathHD, nil, handle)
+			case ModeMixed:
+				if rng.Intn(100) < cfg.PctFlash {
+					node.HostRead(addr, core.PathHRHF, nil, handle)
+				} else {
+					node.HostRead(addr, core.PathHD, nil, handle)
+				}
+			default:
+				remaining--
+				return
+			}
+		}
+		step()
+	}
+	c.Run()
+	if remaining != 0 {
+		return nil, fmt.Errorf("graph: %d walkers never finished", remaining)
+	}
+	res.Elapsed = c.Eng.Now() - start
+	if res.Elapsed > 0 {
+		res.LookupsPerSec = float64(res.Steps) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// ReferenceWalk computes the same walk in memory (no simulation) for
+// correctness checks. It mirrors Traverse with Walkers=1.
+func ReferenceWalk(g *Graph, cfg TraverseConfig) uint64 {
+	rng := sim.NewRNG(cfg.Seed)
+	current := cfg.Start % g.Vertices()
+	var sum uint64
+	for s := 0; s < cfg.Steps; s++ {
+		sum = sum*1099511628211 + uint64(current)
+		nbs := g.RefNeighbors(current)
+		if len(nbs) == 0 {
+			current = rng.Intn(g.Vertices())
+		} else {
+			current = int(nbs[rng.Intn(len(nbs))])
+		}
+	}
+	return sum
+}

@@ -1,0 +1,103 @@
+// Package search implements BlueDBM's string search accelerator (paper
+// §7.3): Morris-Pratt pattern-matching engines integrated with the
+// file system, the flash controller and application software. The host
+// transfers the pattern and precomputed MP constants, streams physical
+// addresses from the file system, and receives only match locations —
+// the scan itself runs next to the flash at full device bandwidth with
+// near-zero host CPU.
+package search
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEmptyPattern rejects empty needles.
+var ErrEmptyPattern = errors.New("search: empty pattern")
+
+// Pattern holds a compiled needle: the pattern bytes plus the
+// Morris-Pratt failure function (the "precomputed MP constants" the
+// host DMAs to the accelerator).
+type Pattern struct {
+	needle []byte
+	fail   []int
+}
+
+// Compile precomputes the MP failure function.
+func Compile(needle []byte) (*Pattern, error) {
+	if len(needle) == 0 {
+		return nil, ErrEmptyPattern
+	}
+	p := &Pattern{
+		needle: append([]byte(nil), needle...),
+		fail:   make([]int, len(needle)+1),
+	}
+	// fail[i] = length of the longest proper border of needle[:i].
+	p.fail[0] = -1
+	k := -1
+	for i := 0; i < len(needle); i++ {
+		for k >= 0 && needle[k] != needle[i] {
+			k = p.fail[k]
+		}
+		k++
+		p.fail[i+1] = k
+	}
+	return p, nil
+}
+
+// Len returns the needle length.
+func (p *Pattern) Len() int { return len(p.needle) }
+
+func (p *Pattern) String() string { return fmt.Sprintf("mp(%q)", p.needle) }
+
+// Scanner is one streaming MP engine: bytes are fed in arbitrary
+// chunks (flash pages) and match end-positions are emitted. State
+// carries across chunk boundaries, so matches spanning pages are
+// found — the property that lets engines scan page streams directly.
+type Scanner struct {
+	p      *Pattern
+	state  int
+	offset int64 // absolute position of the next byte to be fed
+}
+
+// NewScanner starts a scan at absolute offset 0.
+func (p *Pattern) NewScanner() *Scanner {
+	return &Scanner{p: p}
+}
+
+// Reset rewinds the scanner to the given absolute offset with clean
+// match state (used when an engine jumps to a new haystack segment).
+func (s *Scanner) Reset(offset int64) {
+	s.state = 0
+	s.offset = offset
+}
+
+// Feed scans one chunk, calling emit with the absolute start position
+// of every match.
+func (s *Scanner) Feed(chunk []byte, emit func(pos int64)) {
+	needle, fail := s.p.needle, s.p.fail
+	k := s.state
+	for i, c := range chunk {
+		for k >= 0 && needle[k] != c {
+			k = fail[k]
+		}
+		k++
+		if k == len(needle) {
+			if emit != nil {
+				emit(s.offset + int64(i) + 1 - int64(len(needle)))
+			}
+			k = fail[k]
+		}
+	}
+	s.state = k
+	s.offset += int64(len(chunk))
+}
+
+// FindAll returns every match position in a byte slice (reference
+// implementation used by tests and the software-grep baseline).
+func (p *Pattern) FindAll(haystack []byte) []int64 {
+	var out []int64
+	sc := p.NewScanner()
+	sc.Feed(haystack, func(pos int64) { out = append(out, pos) })
+	return out
+}

@@ -1,0 +1,87 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/isp"
+	"repro/internal/rfs"
+	"repro/internal/sim"
+)
+
+// TestCompetingQueriesShareAccelerator exercises the §4 scheduler: two
+// application instances submit searches against one set of hardware MP
+// engines; the FIFO scheduler serializes them, both complete, and
+// results match the dedicated-run results.
+func TestCompetingQueriesShareAccelerator(t *testing.T) {
+	c, fs := searchCluster(t)
+	needle := "SHARED"
+	const pages = 96
+	gen := haystackGen(needle, 6, c.Params.PageSize())
+
+	mkFile := func(name string) *rfs.File {
+		f, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, c.Params.PageSize())
+		for i := 0; i < pages; i++ {
+			for j := range buf {
+				buf[j] = 0
+			}
+			gen(i, buf)
+			var werr error
+			f.AppendPage(buf, func(err error) { werr = err })
+			c.Run()
+			if werr != nil {
+				t.Fatal(werr)
+			}
+		}
+		return f
+	}
+	fileA := mkFile("a")
+	fileB := mkFile("b")
+
+	// One accelerator unit: queries serialize through the scheduler.
+	sched, err := isp.NewScheduler("mp-search", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*Result
+	var order []string
+	submit := func(name string, f *rfs.File) {
+		sched.Submit(func(done func()) {
+			res, err := SearchISP(c, 0, 0, f, []byte(needle))
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			order = append(order, name)
+			results = append(results, res)
+			done()
+		})
+	}
+	// A prior occupant holds the unit, so both queries must queue.
+	var evict func()
+	sched.Submit(func(done func()) { evict = done })
+	submit("appA", fileA)
+	submit("appB", fileB)
+	if sched.Queued() != 2 {
+		t.Fatalf("queued = %d, want 2 behind the occupant", sched.Queued())
+	}
+	evict() // FIFO drain: appA runs to completion, then appB
+	c.Run()
+
+	if len(results) != 2 {
+		t.Fatalf("completed %d of 2 queries", len(results))
+	}
+	if order[0] != "appA" || order[1] != "appB" {
+		t.Fatalf("FIFO order violated: %v", order)
+	}
+	if sched.Waits != 2 {
+		t.Fatalf("waits = %d, want 2 (both apps queued)", sched.Waits)
+	}
+	// Identical haystacks: identical match sets.
+	if len(results[0].Matches) == 0 || len(results[0].Matches) != len(results[1].Matches) {
+		t.Fatalf("match counts differ: %d vs %d", len(results[0].Matches), len(results[1].Matches))
+	}
+	_ = sim.Microsecond
+}

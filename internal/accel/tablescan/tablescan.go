@@ -1,0 +1,329 @@
+// Package tablescan implements the SQL database acceleration that the
+// paper lists as planned work (§8: "SQL Database Acceleration by
+// offloading query processing and filtering to in-store processors"),
+// in the style the related-work section attributes to Ibex and
+// IBM/Netezza: selection and projection pushed down into the storage
+// device, so only qualifying records cross PCIe to the host.
+//
+// Records are fixed-size rows packed into flash pages; predicates are
+// simple column comparisons the FPGA could evaluate at line rate. The
+// in-store scan reads the table at flash bandwidth and returns matches
+// only; the host baseline hauls every page over PCIe and filters in
+// software.
+package tablescan
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Table-scan errors.
+var (
+	ErrBadRecord = errors.New("tablescan: malformed record page")
+	ErrBadOp     = errors.New("tablescan: unknown comparison operator")
+)
+
+// Record is one fixed-size row: an id, two filterable integer columns,
+// and an opaque payload (the projected data).
+type Record struct {
+	ID      uint64
+	ColA    int64
+	ColB    int64
+	Payload [40]byte
+}
+
+// RecordSize is the packed size of one record.
+const RecordSize = 8 + 8 + 8 + 40
+
+// EncodeRecords packs records into one page image; the first 4 bytes
+// hold the record count.
+func EncodeRecords(recs []Record, pageSize int) ([]byte, error) {
+	if 4+len(recs)*RecordSize > pageSize {
+		return nil, fmt.Errorf("tablescan: %d records exceed a %d-byte page", len(recs), pageSize)
+	}
+	page := make([]byte, pageSize)
+	binary.LittleEndian.PutUint32(page, uint32(len(recs)))
+	off := 4
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(page[off:], r.ID)
+		binary.LittleEndian.PutUint64(page[off+8:], uint64(r.ColA))
+		binary.LittleEndian.PutUint64(page[off+16:], uint64(r.ColB))
+		copy(page[off+24:], r.Payload[:])
+		off += RecordSize
+	}
+	return page, nil
+}
+
+// DecodeRecords unpacks a record page.
+func DecodeRecords(page []byte) ([]Record, error) {
+	if len(page) < 4 {
+		return nil, ErrBadRecord
+	}
+	n := int(binary.LittleEndian.Uint32(page))
+	if 4+n*RecordSize > len(page) {
+		return nil, fmt.Errorf("%w: count %d", ErrBadRecord, n)
+	}
+	out := make([]Record, n)
+	off := 4
+	for i := range out {
+		out[i].ID = binary.LittleEndian.Uint64(page[off:])
+		out[i].ColA = int64(binary.LittleEndian.Uint64(page[off+8:]))
+		out[i].ColB = int64(binary.LittleEndian.Uint64(page[off+16:]))
+		copy(out[i].Payload[:], page[off+24:off+64])
+		off += RecordSize
+	}
+	return out, nil
+}
+
+// RecordsPerPage returns the table's rows-per-page for a page size.
+func RecordsPerPage(pageSize int) int { return (pageSize - 4) / RecordSize }
+
+// Op is a comparison operator.
+type Op uint8
+
+// Comparison operators.
+const (
+	OpLT Op = iota
+	OpLE
+	OpEQ
+	OpGE
+	OpGT
+)
+
+// Column selects a filterable column.
+type Column uint8
+
+// Filterable columns.
+const (
+	ColA Column = iota
+	ColB
+)
+
+// Predicate is one column comparison, the unit an in-store filter
+// engine evaluates.
+type Predicate struct {
+	Col   Column
+	Op    Op
+	Value int64
+}
+
+// Eval applies the predicate to one record.
+func (p Predicate) Eval(r Record) (bool, error) {
+	var v int64
+	switch p.Col {
+	case ColA:
+		v = r.ColA
+	case ColB:
+		v = r.ColB
+	default:
+		return false, fmt.Errorf("tablescan: unknown column %d", p.Col)
+	}
+	switch p.Op {
+	case OpLT:
+		return v < p.Value, nil
+	case OpLE:
+		return v <= p.Value, nil
+	case OpEQ:
+		return v == p.Value, nil
+	case OpGE:
+		return v >= p.Value, nil
+	case OpGT:
+		return v > p.Value, nil
+	default:
+		return false, fmt.Errorf("%w: %d", ErrBadOp, p.Op)
+	}
+}
+
+// Result reports one scan.
+type Result struct {
+	Rows        int64 // rows scanned
+	Matches     []Record
+	Elapsed     sim.Time
+	RowsPerSec  float64
+	BytesToHost int64 // data that crossed PCIe
+	CPUUtil     float64
+}
+
+// hostFilterCPUPerRow is the software predicate-evaluation cost.
+const hostFilterCPUPerRow = 60 * sim.Nanosecond
+
+// ScanISP pushes the predicate into the storage device: in-store
+// engines stream the table's pages from flash, filter at line rate,
+// and DMA only matching records to the host.
+func ScanISP(c *core.Cluster, nodeID int, pages []core.PageAddr, pred Predicate) (*Result, error) {
+	node := c.Node(nodeID)
+	res := &Result{}
+	const engines = 16
+	const window = 8
+	next := 0
+	remaining := 0
+	start := c.Eng.Now()
+
+	for e := 0; e < engines; e++ {
+		remaining++
+		inflight := 0
+		engineDone := false
+		var pump func()
+		maybeFinish := func() {
+			if !engineDone && inflight == 0 && next >= len(pages) {
+				engineDone = true
+				remaining--
+			}
+		}
+		pump = func() {
+			for inflight < window && next < len(pages) {
+				i := next
+				next++
+				inflight++
+				node.ISPRead(pages[i], func(data []byte, err error) {
+					if err == nil {
+						recs, derr := DecodeRecords(data)
+						if derr == nil {
+							for _, r := range recs {
+								res.Rows++
+								ok, perr := pred.Eval(r)
+								if perr == nil && ok {
+									res.Matches = append(res.Matches, r)
+									res.BytesToHost += RecordSize
+								}
+							}
+						}
+					}
+					inflight--
+					pump()
+					maybeFinish()
+				})
+			}
+		}
+		pump()
+		maybeFinish()
+	}
+	c.Run()
+	if remaining != 0 {
+		return nil, fmt.Errorf("tablescan: %d ISP engines never finished", remaining)
+	}
+	// Matches DMA to the host as one stream (usually tiny).
+	if res.BytesToHost > 0 {
+		done := false
+		node.Host.AcquireReadBuffer(int(res.BytesToHost), func(buf int) {
+			node.Host.ReleaseReadBuffer(buf)
+			done = true
+		}, func(buf int) {
+			node.Host.DeviceWriteChunk(buf, int(res.BytesToHost), true)
+		})
+		c.Run()
+		if !done {
+			return nil, fmt.Errorf("tablescan: match DMA never completed")
+		}
+	}
+	res.Elapsed = c.Eng.Now() - start
+	if res.Elapsed > 0 {
+		res.RowsPerSec = float64(res.Rows) / res.Elapsed.Seconds()
+	}
+	res.CPUUtil = node.CPU.Utilization()
+	return res, nil
+}
+
+// ScanHost is the conventional path: every table page crosses PCIe and
+// the host filters in software with `threads` worker threads.
+func ScanHost(c *core.Cluster, nodeID int, pages []core.PageAddr, pred Predicate, threads int) (*Result, error) {
+	node := c.Node(nodeID)
+	res := &Result{}
+	if threads <= 0 {
+		threads = 1
+	}
+	next := 0
+	remaining := 0
+	start := c.Eng.Now()
+	rowsPerPage := RecordsPerPage(c.Params.PageSize())
+	pageCost := sim.Time(rowsPerPage) * hostFilterCPUPerRow
+
+	for w := 0; w < threads; w++ {
+		th := node.CPU.NewThread()
+		remaining++
+		var step func()
+		step = func() {
+			if next >= len(pages) {
+				remaining--
+				return
+			}
+			i := next
+			next++
+			a := pages[i]
+			node.ReadLocal(a.Card, a.Addr, func(data []byte, err error) {
+				if err != nil {
+					step()
+					return
+				}
+				// Page DMA to host, then software filtering.
+				node.Host.AcquireReadBuffer(len(data), func(buf int) {
+					node.Host.ReleaseReadBuffer(buf)
+					res.BytesToHost += int64(len(data))
+					th.Do(pageCost, func() {
+						recs, derr := DecodeRecords(data)
+						if derr == nil {
+							for _, r := range recs {
+								res.Rows++
+								ok, perr := pred.Eval(r)
+								if perr == nil && ok {
+									res.Matches = append(res.Matches, r)
+								}
+							}
+						}
+						step()
+					})
+				}, func(buf int) {
+					node.Host.DeviceWriteChunk(buf, len(data), true)
+				})
+			})
+		}
+		step()
+	}
+	c.Run()
+	if remaining != 0 {
+		return nil, fmt.Errorf("tablescan: %d host threads never finished", remaining)
+	}
+	res.Elapsed = c.Eng.Now() - start
+	if res.Elapsed > 0 {
+		res.RowsPerSec = float64(res.Rows) / res.Elapsed.Seconds()
+	}
+	res.CPUUtil = node.CPU.Utilization()
+	return res, nil
+}
+
+// BuildTable seeds `pages` pages of synthetic rows on a node and
+// returns their addresses. Column values are deterministic: ColA is
+// uniform in [0, 1e6), ColB in [0, 100).
+func BuildTable(c *core.Cluster, nodeID, pages int, seed uint64) ([]core.PageAddr, error) {
+	ps := c.Params.PageSize()
+	perPage := RecordsPerPage(ps)
+	rng := sim.NewRNG(seed)
+	nextID := uint64(0)
+	if err := c.SeedLinear(nodeID, pages, func(idx int, page []byte) {
+		recs := make([]Record, perPage)
+		for i := range recs {
+			recs[i] = Record{
+				ID:   nextID,
+				ColA: int64(rng.Intn(1_000_000)),
+				ColB: int64(rng.Intn(100)),
+			}
+			nextID++
+		}
+		enc, err := EncodeRecords(recs, ps)
+		if err != nil {
+			panic(err)
+		}
+		copy(page, enc)
+	}); err != nil {
+		return nil, err
+	}
+	addrs := make([]core.PageAddr, pages)
+	for i := range addrs {
+		addrs[i] = core.LinearPage(c.Params, nodeID, i)
+	}
+	return addrs, nil
+}

@@ -1,0 +1,220 @@
+package tablescan
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []Record{
+		{ID: 1, ColA: -5, ColB: 99},
+		{ID: 2, ColA: 1 << 40, ColB: 0},
+	}
+	recs[0].Payload[0] = 0xaa
+	recs[1].Payload[39] = 0xbb
+	page, err := EncodeRecords(recs, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecords(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestEncodeDecodeErrors(t *testing.T) {
+	if _, err := EncodeRecords(make([]Record, 1000), 4096); err == nil {
+		t.Fatal("oversized page accepted")
+	}
+	if _, err := DecodeRecords([]byte{1}); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("short page: %v", err)
+	}
+	if _, err := DecodeRecords([]byte{255, 255, 255, 255}); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("lying count: %v", err)
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	r := Record{ColA: 10, ColB: -3}
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Predicate{ColA, OpLT, 11}, true},
+		{Predicate{ColA, OpLT, 10}, false},
+		{Predicate{ColA, OpLE, 10}, true},
+		{Predicate{ColA, OpEQ, 10}, true},
+		{Predicate{ColA, OpGE, 10}, true},
+		{Predicate{ColA, OpGT, 10}, false},
+		{Predicate{ColB, OpEQ, -3}, true},
+		{Predicate{ColB, OpGT, 0}, false},
+	}
+	for _, c := range cases {
+		got, err := c.p.Eval(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%+v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := (Predicate{Col: 9}).Eval(r); err == nil {
+		t.Fatal("bad column accepted")
+	}
+	if _, err := (Predicate{Op: 9}).Eval(r); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+// Property: encode/decode is identity for any record batch that fits.
+func TestRecordsRoundTripProperty(t *testing.T) {
+	prop := func(ids []uint64, a, b int64) bool {
+		if len(ids) > 60 {
+			ids = ids[:60]
+		}
+		recs := make([]Record, len(ids))
+		for i, id := range ids {
+			recs[i] = Record{ID: id, ColA: a + int64(i), ColB: b - int64(i)}
+		}
+		page, err := EncodeRecords(recs, 8192)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRecords(page)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	p := core.DefaultParams(1)
+	p.Geometry.BlocksPerChip = 16
+	c, err := core.NewCluster(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestScanISPAndHostAgree(t *testing.T) {
+	c := scanCluster(t)
+	const pages = 96
+	addrs, err := BuildTable(c, 0, pages, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := Predicate{Col: ColB, Op: OpLT, Value: 5} // ~5% selectivity
+
+	isp, err := ScanISP(c, 0, addrs, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := scanCluster(t)
+	addrs2, err := BuildTable(c2, 0, pages, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := ScanHost(c2, 0, addrs2, pred, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if isp.Rows != host.Rows {
+		t.Fatalf("rows scanned differ: %d vs %d", isp.Rows, host.Rows)
+	}
+	if len(isp.Matches) != len(host.Matches) {
+		t.Fatalf("match counts differ: %d vs %d", len(isp.Matches), len(host.Matches))
+	}
+	// Selectivity sanity: ~5% of rows.
+	frac := float64(len(isp.Matches)) / float64(isp.Rows)
+	if frac < 0.02 || frac > 0.09 {
+		t.Fatalf("selectivity %.3f, want ~0.05", frac)
+	}
+	// Matches are genuinely filtered.
+	for _, m := range isp.Matches {
+		if m.ColB >= 5 {
+			t.Fatalf("non-matching record returned: %+v", m)
+		}
+	}
+}
+
+func TestScanISPMovesLessData(t *testing.T) {
+	c := scanCluster(t)
+	const pages = 96
+	addrs, err := BuildTable(c, 0, pages, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := Predicate{Col: ColB, Op: OpEQ, Value: 7} // ~1% selectivity
+	isp, err := ScanISP(c, 0, addrs, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := scanCluster(t)
+	addrs2, _ := BuildTable(c2, 0, pages, 19)
+	host, err := ScanHost(c2, 0, addrs2, pred, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pushed-down scan ships only matches over PCIe.
+	if isp.BytesToHost >= host.BytesToHost/20 {
+		t.Fatalf("ISP moved %d bytes to host vs %d for the host scan; want ~50x less",
+			isp.BytesToHost, host.BytesToHost)
+	}
+	// And scans faster than rows can cross PCIe.
+	if isp.RowsPerSec <= host.RowsPerSec {
+		t.Fatalf("ISP scan (%.0f rows/s) should beat host scan (%.0f rows/s)",
+			isp.RowsPerSec, host.RowsPerSec)
+	}
+	if isp.CPUUtil > 0.02 {
+		t.Fatalf("in-store scan used %.1f%% CPU", isp.CPUUtil*100)
+	}
+}
+
+func TestBuildTableDeterministic(t *testing.T) {
+	c := scanCluster(t)
+	addrs, err := BuildTable(c, 0, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 4 {
+		t.Fatalf("addrs = %d", len(addrs))
+	}
+	var first []Record
+	c.Node(0).ReadLocal(addrs[0].Card, addrs[0].Addr, func(data []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err = DecodeRecords(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	c.Run()
+	if len(first) != RecordsPerPage(c.Params.PageSize()) {
+		t.Fatalf("page holds %d records, want %d", len(first), RecordsPerPage(c.Params.PageSize()))
+	}
+	// IDs are dense from zero.
+	if first[0].ID != 0 || first[1].ID != 1 {
+		t.Fatalf("ids not dense: %d %d", first[0].ID, first[1].ID)
+	}
+	_ = sim.Microsecond
+}

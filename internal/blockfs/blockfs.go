@@ -1,0 +1,158 @@
+// Package blockfs is the backwards-compatibility path of the BlueDBM
+// software stack (paper §4): a conventional file system that treats
+// the FTL's logical block space as a disk, the way ext2/3/4 or a
+// database would sit on the driver-level FTL. It is deliberately
+// flash-oblivious — bitmap allocation, in-place overwrites — which is
+// exactly what makes the FTL underneath do extra work; the ablation
+// benchmarks compare its end-to-end write amplification against the
+// flash-aware rfs package.
+package blockfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ftl"
+)
+
+// Block-FS errors.
+var (
+	ErrExists    = errors.New("blockfs: file already exists")
+	ErrNotFound  = errors.New("blockfs: file not found")
+	ErrNoSpace   = errors.New("blockfs: volume full")
+	ErrBadOffset = errors.New("blockfs: page offset out of range")
+	ErrDataSize  = errors.New("blockfs: data must be exactly one page")
+)
+
+// FS is a conventional file system over an FTL block device.
+type FS struct {
+	dev *ftl.FTL
+
+	bitmap []bool // logical page allocation
+	files  map[string]*inode
+	free   int
+}
+
+type inode struct {
+	name  string
+	pages []int // logical page numbers, in file order
+}
+
+// New formats a volume on the FTL.
+func New(dev *ftl.FTL) *FS {
+	n := dev.LogicalPages()
+	return &FS{
+		dev:    dev,
+		bitmap: make([]bool, n),
+		files:  make(map[string]*inode),
+		free:   n,
+	}
+}
+
+// FreePages returns the unallocated logical pages.
+func (fs *FS) FreePages() int { return fs.free }
+
+// alloc grabs the lowest free logical page — the disk-style locality
+// heuristic that means nothing on flash.
+func (fs *FS) alloc() (int, error) {
+	if fs.free == 0 {
+		return 0, ErrNoSpace
+	}
+	for i, used := range fs.bitmap {
+		if !used {
+			fs.bitmap[i] = true
+			fs.free--
+			return i, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// File is an open file.
+type File struct {
+	fs *FS
+	nd *inode
+}
+
+// Create makes an empty file.
+func (fs *FS) Create(name string) (*File, error) {
+	if _, dup := fs.files[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	nd := &inode{name: name}
+	fs.files[name] = nd
+	return &File{fs: fs, nd: nd}, nil
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	nd, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return &File{fs: fs, nd: nd}, nil
+}
+
+// Remove deletes a file and trims its logical pages.
+func (fs *FS) Remove(name string) error {
+	nd, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	for _, lpn := range nd.pages {
+		fs.bitmap[lpn] = false
+		fs.free++
+		// A good citizen trims; the FTL reclaims the page lazily.
+		_ = fs.dev.Trim(lpn)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List returns all file names, sorted.
+func (fs *FS) List() []string {
+	var out []string
+	for name := range fs.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pages returns the file length in pages.
+func (f *File) Pages() int { return len(f.nd.pages) }
+
+// AppendPage adds a page at the end of the file.
+func (f *File) AppendPage(data []byte, cb func(err error)) {
+	lpn, err := f.fs.alloc()
+	if err != nil {
+		cb(err)
+		return
+	}
+	f.nd.pages = append(f.nd.pages, lpn)
+	f.fs.dev.Write(lpn, data, cb)
+}
+
+// WritePage overwrites page idx in place — the disk idiom that forces
+// the FTL to remap and eventually garbage-collect.
+func (f *File) WritePage(idx int, data []byte, cb func(err error)) {
+	if idx < 0 || idx > len(f.nd.pages) {
+		cb(fmt.Errorf("%w: %d of %d", ErrBadOffset, idx, len(f.nd.pages)))
+		return
+	}
+	if idx == len(f.nd.pages) {
+		f.AppendPage(data, cb)
+		return
+	}
+	f.fs.dev.Write(f.nd.pages[idx], data, cb)
+}
+
+// ReadPage fetches page idx.
+func (f *File) ReadPage(idx int, cb func(data []byte, err error)) {
+	if idx < 0 || idx >= len(f.nd.pages) {
+		cb(nil, fmt.Errorf("%w: %d of %d", ErrBadOffset, idx, len(f.nd.pages)))
+		return
+	}
+	f.fs.dev.Read(f.nd.pages[idx], cb)
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nand"
+)
+
+// PageAddr names one flash page anywhere in the cluster: BlueDBM's
+// global address space (paper capability 2: "near-uniform latency
+// access into a network of storage devices that form a global address
+// space").
+type PageAddr struct {
+	Node int
+	Card int
+	Addr nand.Addr
+}
+
+func (a PageAddr) String() string {
+	return fmt.Sprintf("n%d.card%d.%v", a.Node, a.Card, a.Addr)
+}
+
+// Valid reports whether the address is inside the cluster p describes.
+func (a PageAddr) Valid(p Params) bool {
+	if a.Node < 0 || a.Node >= p.Nodes || a.Card < 0 || a.Card >= p.CardsPerNode {
+		return false
+	}
+	g := p.Geometry
+	return a.Addr.Bus >= 0 && a.Addr.Bus < g.Buses &&
+		a.Addr.Chip >= 0 && a.Addr.Chip < g.ChipsPerBus &&
+		a.Addr.Block >= 0 && a.Addr.Block < g.BlocksPerChip &&
+		a.Addr.Page >= 0 && a.Addr.Page < g.PagesPerBlock
+}
+
+// LinearPage maps a cluster-wide dense page index to an address,
+// striping consecutive indices across buses then chips then cards so
+// sequential data exploits full device parallelism (the layout the
+// paper's flash interface encourages).
+func LinearPage(p Params, node, idx int) PageAddr {
+	g := p.Geometry
+	bus := idx % g.Buses
+	idx /= g.Buses
+	chip := idx % g.ChipsPerBus
+	idx /= g.ChipsPerBus
+	card := idx % p.CardsPerNode
+	idx /= p.CardsPerNode
+	page := idx % g.PagesPerBlock
+	idx /= g.PagesPerBlock
+	block := idx
+	return PageAddr{
+		Node: node,
+		Card: card,
+		Addr: nand.Addr{Bus: bus, Chip: chip, Block: block, Page: page},
+	}
+}
+
+// PagesPerNode returns the number of pages LinearPage can address on
+// one node.
+func PagesPerNode(p Params) int {
+	return p.CardsPerNode * p.Geometry.TotalPages()
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/flashctl"
+	"repro/internal/flashserver"
+	"repro/internal/hostif"
+	"repro/internal/hostmodel"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// Cluster is a running BlueDBM appliance.
+type Cluster struct {
+	Eng    *sim.Engine
+	Params Params
+	Net    *fabric.Network
+	nodes  []*Node
+
+	hops [][]int // precomputed hop distances
+}
+
+// NewCluster builds and wires the whole appliance.
+func NewCluster(p Params) (*Cluster, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+
+	topo := p.Topology
+	if topo.Nodes == 0 {
+		if p.Nodes == 1 {
+			topo = fabric.Topology{Name: "single", Nodes: 1}
+		} else {
+			topo = fabric.Ring(p.Nodes, 4)
+		}
+	}
+	if topo.Nodes != p.Nodes {
+		return nil, fmt.Errorf("core: topology has %d nodes, cluster has %d", topo.Nodes, p.Nodes)
+	}
+	var net *fabric.Network
+	var err error
+	if p.Nodes == 1 {
+		net = fabric.New(eng, p.Net, 1)
+	} else {
+		net, err = topo.Build(eng, p.Net, EPUser+8)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	c := &Cluster{Eng: eng, Params: p, Net: net}
+	for i := 0; i < p.Nodes; i++ {
+		node, err := c.buildNode(i)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+
+	// Precompute hop distances for latency accounting.
+	c.hops = make([][]int, p.Nodes)
+	for i := range c.hops {
+		c.hops[i] = make([]int, p.Nodes)
+		for j := range c.hops[i] {
+			c.hops[i][j] = c.bfsDist(i, j)
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) buildNode(i int) (*Node, error) {
+	p := c.Params
+	n := &Node{
+		cluster: c,
+		id:      i,
+		pending: make(map[uint64]func([]byte, error)),
+	}
+	for card := 0; card < p.CardsPerNode; card++ {
+		name := fmt.Sprintf("n%d/card%d", i, card)
+		seed := p.Seed + uint64(i)*131 + uint64(card)*17
+		cd, err := nand.NewCard(c.Eng, name, p.Geometry, p.FlashTiming, p.Reliability, seed)
+		if err != nil {
+			return nil, err
+		}
+		var sp *flashserver.Splitter
+		ctl, err := flashctl.New(c.Eng, cd, p.Controller, flashctl.Handlers{
+			ReadChunk:    func(tag, off int, chunk []byte, last bool) { sp.Handlers().ReadChunk(tag, off, chunk, last) },
+			ReadDone:     func(tag, corr int, err error) { sp.Handlers().ReadDone(tag, corr, err) },
+			WriteDataReq: func(tag int) { sp.Handlers().WriteDataReq(tag) },
+			WriteDone:    func(tag int, err error) { sp.Handlers().WriteDone(tag, err) },
+			EraseDone:    func(tag int, err error) { sp.Handlers().EraseDone(tag, err) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		sp = flashserver.NewSplitter(ctl)
+		srv := flashserver.NewServer(sp, name, p.QueueDepth)
+		n.cards = append(n.cards, cd)
+		n.ctls = append(n.ctls, ctl)
+		n.splitters = append(n.splitters, sp)
+		n.servers = append(n.servers, srv)
+		n.ispIfaces = append(n.ispIfaces, srv.NewIface(name+"/isp"))
+		n.hostIfaces = append(n.hostIfaces, srv.NewIface(name+"/host"))
+	}
+
+	host, err := hostif.New(c.Eng, fmt.Sprintf("n%d", i), p.Host)
+	if err != nil {
+		return nil, err
+	}
+	n.Host = host
+	cpu, err := hostmodel.New(c.Eng, fmt.Sprintf("n%d", i), p.CPU)
+	if err != nil {
+		return nil, err
+	}
+	n.CPU = cpu
+	n.dram = sim.NewPipe(c.Eng, fmt.Sprintf("n%d/dram", i), p.DRAMBytesPerSec, p.DRAMLatency)
+
+	n.netNode = c.Net.Node(fabric.NodeID(i))
+	for lane := 0; lane < FlashLanes; lane++ {
+		reqEP, err := n.netNode.BindEndpoint(EPFlashReq + lane)
+		if err != nil {
+			return nil, err
+		}
+		respEP, err := n.netNode.BindEndpoint(EPFlashResp + lane)
+		if err != nil {
+			return nil, err
+		}
+		reqEP.OnReceive = n.handleFlashReq
+		respEP.OnReceive = n.handleFlashResp
+		n.reqEPs = append(n.reqEPs, reqEP)
+		n.respEPs = append(n.respEPs, respEP)
+	}
+	return n, nil
+}
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Hops returns the network distance between two nodes.
+func (c *Cluster) Hops(a, b int) int { return c.hops[a][b] }
+
+func (c *Cluster) bfsDist(a, b int) int {
+	if a == b {
+		return 0
+	}
+	dist := map[int]int{a: 0}
+	queue := []int{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, peer := range c.Net.Node(fabric.NodeID(v)).Neighbors() {
+			pv := int(peer)
+			if _, seen := dist[pv]; !seen {
+				dist[pv] = dist[v] + 1
+				if pv == b {
+					return dist[pv]
+				}
+				queue = append(queue, pv)
+			}
+		}
+	}
+	return -1
+}
+
+// Run drains all pending simulation events.
+func (c *Cluster) Run() { c.Eng.Run() }
+
+// SeedLinear writes count pages of generated data starting at dense
+// index 0 on node; gen produces the page payload for each index. It is
+// the standard experiment-setup helper (timing is charged but setup
+// happens before the measurement window).
+func (c *Cluster) SeedLinear(node, count int, gen func(idx int, page []byte)) error {
+	ps := c.Params.PageSize()
+	if count > PagesPerNode(c.Params) {
+		return fmt.Errorf("core: seeding %d pages exceeds node capacity %d", count, PagesPerNode(c.Params))
+	}
+	var firstErr error
+	buf := make([]byte, ps)
+	for idx := 0; idx < count; idx++ {
+		a := LinearPage(c.Params, node, idx)
+		for j := range buf {
+			buf[j] = 0
+		}
+		if gen != nil {
+			gen(idx, buf)
+		}
+		c.nodes[node].WriteLocal(a.Card, a.Addr, buf, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+		// Keep the write window bounded so memory stays flat.
+		if idx%256 == 255 {
+			c.Run()
+		}
+	}
+	c.Run()
+	return firstErr
+}

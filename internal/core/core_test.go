@@ -1,0 +1,303 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+func testParams(nodes int) Params {
+	p := DefaultParams(nodes)
+	// Shrink flash so cluster tests stay fast.
+	p.Geometry.BlocksPerChip = 8
+	p.Geometry.PagesPerBlock = 16
+	return p
+}
+
+func mkCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(testParams(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func fill(seed byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed ^ byte(i*11)
+	}
+	return b
+}
+
+func TestLocalWriteRead(t *testing.T) {
+	c := mkCluster(t, 2)
+	n0 := c.Node(0)
+	a := LinearPage(c.Params, 0, 0)
+	data := fill(1, c.Params.PageSize())
+	var werr error
+	n0.WriteLocal(a.Card, a.Addr, data, func(err error) { werr = err })
+	c.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	var got []byte
+	n0.ReadLocal(a.Card, a.Addr, func(d []byte, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got = d
+	})
+	c.Run()
+	if !bytes.Equal(got, data) {
+		t.Fatal("local read mismatch")
+	}
+}
+
+func TestISPRemoteRead(t *testing.T) {
+	c := mkCluster(t, 4)
+	// Write on node 2, read from node 0's ISP over the network.
+	a := LinearPage(c.Params, 2, 5)
+	data := fill(7, c.Params.PageSize())
+	var werr error
+	c.Node(2).WriteLocal(a.Card, a.Addr, data, func(err error) { werr = err })
+	c.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	var got []byte
+	start := c.Eng.Now()
+	c.Node(0).ISPRead(a, func(d []byte, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got = d
+	})
+	c.Run()
+	if !bytes.Equal(got, data) {
+		t.Fatal("remote ISP read mismatch")
+	}
+	lat := c.Eng.Now() - start
+	// ~50us flash + transfer + 2 hops: must be well under host paths.
+	if lat < 50*sim.Microsecond || lat > 200*sim.Microsecond {
+		t.Fatalf("ISP-F latency %v out of plausible range", lat)
+	}
+}
+
+func TestISPRemoteWrite(t *testing.T) {
+	c := mkCluster(t, 3)
+	a := LinearPage(c.Params, 1, 3)
+	data := fill(9, c.Params.PageSize())
+	var werr error
+	c.Node(0).ISPWrite(a, data, func(err error) { werr = err })
+	c.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	var got []byte
+	c.Node(1).ReadLocal(a.Card, a.Addr, func(d []byte, err error) { got = d })
+	c.Run()
+	if !bytes.Equal(got, data) {
+		t.Fatal("remote write mismatch")
+	}
+}
+
+func TestAccessPathLatencyOrdering(t *testing.T) {
+	// Figure 12's central claim: ISP-F < H-F < H-RH-F, and H-D has no
+	// storage latency component.
+	c := mkCluster(t, 4)
+	a := LinearPage(c.Params, 1, 0)
+	var werr error
+	c.Node(1).WriteLocal(a.Card, a.Addr, fill(3, c.Params.PageSize()), func(err error) { werr = err })
+	c.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+
+	measure := func(path AccessPath, isp bool) sim.Time {
+		start := c.Eng.Now()
+		var end sim.Time
+		if isp {
+			c.Node(0).ISPRead(a, func([]byte, error) { end = c.Eng.Now() })
+		} else {
+			c.Node(0).HostRead(a, path, nil, func(_ []byte, err error) {
+				if err != nil {
+					t.Error(err)
+				}
+				end = c.Eng.Now()
+			})
+		}
+		c.Run()
+		return end - start
+	}
+
+	ispf := measure(PathISPF, true)
+	hf := measure(PathHF, false)
+	hrhf := measure(PathHRHF, false)
+	hd := measure(PathHD, false)
+
+	if !(ispf < hf && hf < hrhf) {
+		t.Fatalf("latency ordering violated: ISP-F=%v H-F=%v H-RH-F=%v", ispf, hf, hrhf)
+	}
+	if hd >= hf {
+		t.Fatalf("H-D (%v) should beat H-F (%v): no flash latency", hd, hf)
+	}
+}
+
+func TestTraceDecomposition(t *testing.T) {
+	c := mkCluster(t, 4)
+	a := LinearPage(c.Params, 1, 0)
+	c.Node(1).WriteLocal(a.Card, a.Addr, fill(4, c.Params.PageSize()), func(error) {})
+	c.Run()
+	var tr Trace
+	c.Node(0).HostRead(a, PathHF, &tr, func(_ []byte, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if tr.Total <= 0 {
+		t.Fatal("trace not filled")
+	}
+	sum := tr.Software + tr.Storage + tr.Transfer + tr.Network
+	if sum != tr.Total {
+		t.Fatalf("trace bands (%v) do not sum to total (%v)", sum, tr.Total)
+	}
+	if tr.Storage != c.Params.FlashTiming.ReadPage {
+		t.Fatalf("storage band %v, want flash read latency", tr.Storage)
+	}
+	if tr.Network <= 0 || tr.Software <= 0 || tr.Transfer <= 0 {
+		t.Fatalf("empty bands: %+v", tr)
+	}
+}
+
+func TestHostWriteRoundTrip(t *testing.T) {
+	c := mkCluster(t, 2)
+	local := LinearPage(c.Params, 0, 1)
+	remote := LinearPage(c.Params, 1, 1)
+	data := fill(5, c.Params.PageSize())
+	for _, a := range []PageAddr{local, remote} {
+		var werr error
+		c.Node(0).HostWrite(a, data, func(err error) { werr = err })
+		c.Run()
+		if werr != nil {
+			t.Fatalf("host write %v: %v", a, werr)
+		}
+		var got []byte
+		c.Node(a.Node).ReadLocal(a.Card, a.Addr, func(d []byte, err error) { got = d })
+		c.Run()
+		if !bytes.Equal(got, data) {
+			t.Fatalf("host write %v: data mismatch", a)
+		}
+	}
+}
+
+func TestSeedLinear(t *testing.T) {
+	c := mkCluster(t, 2)
+	const pages = 100
+	if err := c.SeedLinear(1, pages, func(idx int, page []byte) {
+		page[0] = byte(idx)
+		page[1] = byte(idx >> 8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check via ISP reads from the other node.
+	for _, idx := range []int{0, 17, 63, 99} {
+		a := LinearPage(c.Params, 1, idx)
+		var got []byte
+		c.Node(0).ISPRead(a, func(d []byte, err error) {
+			if err != nil {
+				t.Errorf("idx %d: %v", idx, err)
+			}
+			got = d
+		})
+		c.Run()
+		if got == nil || got[0] != byte(idx) || got[1] != byte(idx>>8) {
+			t.Fatalf("idx %d: wrong seeded content", idx)
+		}
+	}
+}
+
+func TestLinearPageBijective(t *testing.T) {
+	p := testParams(1)
+	seen := map[PageAddr]bool{}
+	n := PagesPerNode(p)
+	for i := 0; i < n; i++ {
+		a := LinearPage(p, 0, i)
+		if !a.Valid(p) {
+			t.Fatalf("index %d -> invalid address %v", i, a)
+		}
+		if seen[a] {
+			t.Fatalf("index %d -> duplicate address %v", i, a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestLinearPageSequentialProgramOrder(t *testing.T) {
+	// Writing dense indices in order must satisfy NAND's in-order page
+	// programming rule on every block.
+	c := mkCluster(t, 1)
+	pages := PagesPerNode(c.Params) / 4
+	if err := c.SeedLinear(0, pages, nil); err != nil {
+		t.Fatalf("sequential seeding violated NAND ordering: %v", err)
+	}
+}
+
+func TestHopsMatrix(t *testing.T) {
+	p := testParams(5)
+	p.Topology = fabric.Ring(5, 1)
+	c, err := NewCluster(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hops(0, 0) != 0 || c.Hops(0, 1) != 1 || c.Hops(0, 2) != 2 {
+		t.Fatalf("ring distances wrong: %d %d %d", c.Hops(0, 0), c.Hops(0, 1), c.Hops(0, 2))
+	}
+	if c.Hops(0, 3) != 2 || c.Hops(0, 4) != 1 {
+		t.Fatalf("ring wrap distances wrong: %d %d", c.Hops(0, 3), c.Hops(0, 4))
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	p := testParams(2)
+	p.Host.PageBytes = 4096
+	if _, err := NewCluster(p); err == nil {
+		t.Fatal("page size mismatch accepted")
+	}
+	p = testParams(0)
+	if _, err := NewCluster(p); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	p = testParams(3)
+	p.Topology = fabric.Ring(4, 1)
+	if _, err := NewCluster(p); err == nil {
+		t.Fatal("topology/cluster size mismatch accepted")
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	c := mkCluster(t, 1)
+	a := LinearPage(c.Params, 0, 0)
+	data := fill(8, c.Params.PageSize())
+	var werr error
+	c.Node(0).HostWrite(a, data, func(err error) { werr = err })
+	c.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	var got []byte
+	c.Node(0).HostRead(a, PathHF, nil, func(d []byte, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got = d
+	})
+	c.Run()
+	if !bytes.Equal(got, data) {
+		t.Fatal("single-node host round trip failed")
+	}
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/flashctl"
+	"repro/internal/flashserver"
+	"repro/internal/hostif"
+	"repro/internal/hostmodel"
+	"repro/internal/nand"
+	"repro/internal/rfs"
+	"repro/internal/sim"
+)
+
+// Endpoint indices of the built-in cluster services. Remote flash
+// traffic is striped over FlashLanes request/response endpoint pairs:
+// deterministic routing pins each endpoint to one path (§3.2.3), so
+// multiple endpoints are what lets parallel cables between two nodes
+// carry parallel flash traffic (the ISP-3Nodes setup of Figure 13).
+// User in-store processors bind their own endpoints at EPUser and up.
+const (
+	FlashLanes  = 4
+	EPFlashReq  = 0          // lanes 0..FlashLanes-1: requests
+	EPFlashResp = FlashLanes // lanes FlashLanes..2*FlashLanes-1: responses
+	EPUser      = 8          // first endpoint index free for applications
+)
+
+// AccessPath selects how a remote page is fetched (paper §6.4).
+type AccessPath int
+
+// The four access paths of Figure 12.
+const (
+	PathISPF AccessPath = iota // in-store processor -> remote flash
+	PathHF                     // host -> remote flash (integrated network)
+	PathHRHF                   // host -> remote flash via remote host
+	PathHD                     // host -> remote DRAM
+)
+
+func (p AccessPath) String() string {
+	switch p {
+	case PathISPF:
+		return "ISP-F"
+	case PathHF:
+		return "H-F"
+	case PathHRHF:
+		return "H-RH-F"
+	case PathHD:
+		return "H-D"
+	default:
+		return fmt.Sprintf("path(%d)", int(p))
+	}
+}
+
+// Trace decomposes one access's latency the way Figure 14 does.
+type Trace struct {
+	Software sim.Time // host software + RPC + interrupt charges
+	Storage  sim.Time // flash array access (first byte out of storage)
+	Transfer sim.Time // data movement: buses, serial links, PCIe
+	Network  sim.Time // per-hop switch/wire latency
+	Total    sim.Time
+}
+
+// reqMsg travels on a flash request lane.
+type reqMsg struct {
+	card    int
+	addr    nand.Addr
+	reqID   uint64
+	lane    int
+	from    fabric.NodeID
+	viaHost bool // remote host processes the request (H-RH-F)
+	dram    bool // serve from the on-device DRAM buffer (H-D)
+	write   bool
+	data    []byte // payload for writes
+}
+
+// respMsg travels on EPFlashResp.
+type respMsg struct {
+	reqID uint64
+	data  []byte
+	err   error
+}
+
+// Node is one BlueDBM node: Xeon host + storage device (Figure 2).
+type Node struct {
+	cluster *Cluster
+	id      int
+
+	cards     []*nand.Card
+	ctls      []*flashctl.Controller
+	splitters []*flashserver.Splitter
+	servers   []*flashserver.Server
+
+	// ispIfaces and hostIfaces are per-card in-order flash interfaces
+	// dedicated to in-store processors and to the host DMA path.
+	ispIfaces  []*flashserver.Iface
+	hostIfaces []*flashserver.Iface
+
+	Host *hostif.HostIf
+	CPU  *hostmodel.CPU
+	dram *sim.Pipe
+
+	netNode *fabric.Node
+	reqEPs  []*fabric.Endpoint
+	respEPs []*fabric.Endpoint
+
+	nextReq uint64
+	pending map[uint64]func(data []byte, err error)
+}
+
+// ID returns the node index.
+func (n *Node) ID() int { return n.id }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Card returns flash card c.
+func (n *Node) Card(c int) *nand.Card { return n.cards[c] }
+
+// Controller returns the flash controller of card c.
+func (n *Node) Controller(c int) *flashctl.Controller { return n.ctls[c] }
+
+// Server returns the flash server of card c.
+func (n *Node) Server(c int) *flashserver.Server { return n.servers[c] }
+
+// NewIface creates a fresh in-order flash interface on card c, for
+// in-store processors that want private FIFO channels.
+func (n *Node) NewIface(c int, name string) *flashserver.Iface {
+	return n.servers[c].NewIface(name)
+}
+
+// NewFS mounts a fresh RFS file system on card c. The file system owns
+// flash management for that card (paper §4); callers must not mix FS
+// and raw writes on the same card.
+func (n *Node) NewFS(c int, cfg rfs.Config) (*rfs.FS, error) {
+	return rfs.New(n.servers[c].NewIface(fmt.Sprintf("n%d/card%d/fs", n.id, c)),
+		n.cluster.Params.Geometry, cfg)
+}
+
+// NetNode exposes the node's fabric personality so applications can
+// bind their own endpoints (>= EPUser).
+func (n *Node) NetNode() *fabric.Node { return n.netNode }
+
+// Eng returns the cluster's event engine.
+func (n *Node) Eng() *sim.Engine { return n.cluster.Eng }
+
+// --- local flash access (device side / ISP path) ---------------------
+
+// ReadLocal reads a page on this node's own flash through the in-store
+// processor interface: no host, no network.
+func (n *Node) ReadLocal(card int, addr nand.Addr, cb func(data []byte, err error)) {
+	n.ispIfaces[card].ReadPhysical(addr, cb)
+}
+
+// WriteLocal programs a page on this node's own flash (ISP interface).
+func (n *Node) WriteLocal(card int, addr nand.Addr, data []byte, cb func(err error)) {
+	n.ispIfaces[card].WritePhysical(addr, data, cb)
+}
+
+// EraseLocal erases a block on this node's own flash.
+func (n *Node) EraseLocal(card int, addr nand.Addr, cb func(err error)) {
+	n.ispIfaces[card].Erase(addr, cb)
+}
+
+// --- global address space (ISP-F path) ------------------------------
+
+// ISPRead reads any page in the cluster from this node's in-store
+// processor. Local pages use the local flash interface; remote pages
+// go over the integrated storage network to the remote flash server —
+// the ISP-F path, with zero host involvement anywhere.
+func (n *Node) ISPRead(a PageAddr, cb func(data []byte, err error)) {
+	if a.Node == n.id {
+		n.ReadLocal(a.Card, a.Addr, cb)
+		return
+	}
+	n.remoteReq(reqMsg{card: a.Card, addr: a.Addr}, a.Node, cb)
+}
+
+// ISPWrite writes any page in the cluster from this node's ISP.
+func (n *Node) ISPWrite(a PageAddr, data []byte, cb func(err error)) {
+	if a.Node == n.id {
+		n.WriteLocal(a.Card, a.Addr, data, cb)
+		return
+	}
+	n.remoteReq(reqMsg{card: a.Card, addr: a.Addr, write: true, data: data}, a.Node,
+		func(_ []byte, err error) { cb(err) })
+}
+
+// remoteReq sends a request message on the next lane (round-robin) and
+// registers the completion.
+func (n *Node) remoteReq(msg reqMsg, dst int, cb func(data []byte, err error)) {
+	msg.reqID = n.nextReq
+	msg.lane = int(n.nextReq % FlashLanes)
+	msg.from = n.netNode.ID()
+	n.nextReq++
+	n.pending[msg.reqID] = cb
+	size := 32 // request descriptor
+	if msg.write {
+		size += len(msg.data)
+	}
+	if err := n.reqEPs[msg.lane].Send(fabric.NodeID(dst), size, &msg, nil); err != nil {
+		delete(n.pending, msg.reqID)
+		cb(nil, err)
+	}
+}
+
+// handleFlashReq is the device-side service for remote requests.
+func (n *Node) handleFlashReq(src fabric.NodeID, _ int, payload any) {
+	msg := payload.(*reqMsg)
+	serve := func() {
+		switch {
+		case msg.dram:
+			// The page is cached in the on-device DRAM buffer: no flash
+			// latency, just the buffer access. The cache holds the same
+			// logical content as the flash page.
+			n.dram.Transfer(n.cluster.Params.PageSize(), func() {
+				data := make([]byte, n.cluster.Params.PageSize())
+				if raw := n.cards[msg.card].Peek(msg.addr); raw != nil {
+					copy(data, raw[:n.cluster.Params.PageSize()])
+				}
+				n.respond(msg, data, nil)
+			})
+		case msg.write:
+			n.ispIfaces[msg.card].WritePhysical(msg.addr, msg.data, func(err error) {
+				n.respond(msg, nil, err)
+			})
+		default:
+			n.ispIfaces[msg.card].ReadPhysical(msg.addr, func(data []byte, err error) {
+				n.respond(msg, data, err)
+			})
+		}
+	}
+	if msg.viaHost {
+		// The request surfaces to the remote host's software before
+		// being served. Flash requests (H-RH-F) pay the full storage
+		// stack; DRAM-cached requests (H-D) take the lightweight
+		// user-level serving path.
+		h := n.Host.Config()
+		n.cluster.Eng.After(h.InterruptLatency, func() {
+			if msg.dram {
+				n.Host.ChargeLightSoftware(func() { n.Host.RPC(serve) })
+			} else {
+				n.Host.ChargeSoftware(func() { n.Host.RPC(serve) })
+			}
+		})
+		return
+	}
+	serve()
+}
+
+// respond ships the result back over the integrated network on the
+// response lane paired with the request's lane.
+func (n *Node) respond(msg *reqMsg, data []byte, err error) {
+	size := 32 + len(data)
+	resp := &respMsg{reqID: msg.reqID, data: data, err: err}
+	if serr := n.respEPs[msg.lane].Send(msg.from, size, resp, nil); serr != nil {
+		panic(fmt.Sprintf("core: response route missing: %v", serr))
+	}
+}
+
+// handleFlashResp completes a pending remote request.
+func (n *Node) handleFlashResp(_ fabric.NodeID, _ int, payload any) {
+	resp := payload.(*respMsg)
+	cb, ok := n.pending[resp.reqID]
+	if !ok {
+		return
+	}
+	delete(n.pending, resp.reqID)
+	cb(resp.data, resp.err)
+}
+
+// --- host-mediated access paths (Figure 12) --------------------------
+
+// HostRead fetches a page into host memory via the selected access
+// path, filling tr (optional) with the latency decomposition.
+func (n *Node) HostRead(a PageAddr, path AccessPath, tr *Trace, cb func(data []byte, err error)) {
+	start := n.cluster.Eng.Now()
+	h := n.Host.Config()
+	net := n.cluster.Net.Config()
+	hops := n.cluster.Hops(n.id, a.Node)
+
+	finish := func(data []byte, err error) {
+		if tr != nil {
+			tr.Total = n.cluster.Eng.Now() - start
+			tr.Network = sim.Time(2*hops) * net.HopLatency
+			if path != PathHD {
+				tr.Storage = n.cluster.Params.FlashTiming.ReadPage
+			} else {
+				tr.Storage = n.cluster.Params.DRAMLatency
+			}
+			switch path {
+			case PathHRHF:
+				tr.Software += h.InterruptLatency + h.SoftwareOverhead + h.RPCLatency
+			case PathHD:
+				tr.Software += h.InterruptLatency + h.LightSoftware + h.RPCLatency
+			}
+			rest := tr.Total - tr.Network - tr.Storage - tr.Software
+			if rest < 0 {
+				rest = 0
+			}
+			tr.Transfer = rest
+		}
+		cb(data, err)
+	}
+
+	// Host software issues the request, then rings the RPC doorbell.
+	// Flash paths go through the storage stack; the DRAM path is a
+	// lightweight client library.
+	issue := n.Host.ChargeSoftware
+	issueCost := h.SoftwareOverhead
+	if path == PathHD {
+		issue = n.Host.ChargeLightSoftware
+		issueCost = h.LightSoftware
+	}
+	issue(func() {
+		if tr != nil {
+			tr.Software += issueCost + h.RPCLatency
+		}
+		n.Host.RPC(func() {
+			deliver := func(data []byte, err error) {
+				if err != nil {
+					finish(nil, err)
+					return
+				}
+				// DMA the page into a host read buffer; interrupt.
+				n.Host.AcquireReadBuffer(len(data), func(buf int) {
+					if tr != nil {
+						tr.Software += h.InterruptLatency
+					}
+					n.Host.ReleaseReadBuffer(buf)
+					finish(data, nil)
+				}, func(buf int) {
+					n.Host.DeviceWriteChunk(buf, len(data), true)
+				})
+			}
+			switch {
+			case a.Node == n.id:
+				n.hostIfaces[a.Card].ReadPhysical(a.Addr, deliver)
+			case path == PathHD:
+				// §6.4: in the H-D case (like H-RH-F) the request is
+				// processed by the remote server, not the remote ISP.
+				n.remoteReq(reqMsg{card: a.Card, addr: a.Addr, dram: true, viaHost: true}, a.Node, deliver)
+			case path == PathHRHF:
+				n.remoteReq(reqMsg{card: a.Card, addr: a.Addr, viaHost: true}, a.Node, deliver)
+			default: // PathHF, PathISPF degenerate to direct remote flash
+				n.remoteReq(reqMsg{card: a.Card, addr: a.Addr}, a.Node, deliver)
+			}
+		})
+	})
+}
+
+// HostWrite stores a page from host memory to any flash page in the
+// cluster: write buffer, RPC, PCIe DMA down, then flash (local) or
+// network (remote).
+func (n *Node) HostWrite(a PageAddr, data []byte, cb func(err error)) {
+	n.Host.ChargeSoftware(func() {
+		n.Host.AcquireWriteBuffer(func(_ int) {
+			n.Host.RPC(func() {
+				n.Host.DeviceReadBuffer(len(data), func() {
+					done := func(err error) {
+						n.Host.ReleaseWriteBuffer()
+						cb(err)
+					}
+					if a.Node == n.id {
+						n.hostIfaces[a.Card].WritePhysical(a.Addr, data, done)
+						return
+					}
+					n.remoteReq(reqMsg{card: a.Card, addr: a.Addr, write: true, data: data}, a.Node,
+						func(_ []byte, err error) { done(err) })
+				})
+			})
+		})
+	})
+}

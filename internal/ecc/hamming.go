@@ -1,0 +1,132 @@
+// Package ecc implements the bit-error correction performed by the
+// BlueDBM flash controller (the ECC encoder/decoder pair of paper
+// Table 1). It provides a SEC-DED extended Hamming(72,64) code over
+// 64-bit words and a page-level codec that protects whole flash pages,
+// so the rest of the system sees "logical error-free access into
+// flash" (paper §5.1).
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUncorrectable reports a detected double-bit error (or worse) that
+// SEC-DED cannot repair.
+var ErrUncorrectable = errors.New("ecc: uncorrectable error")
+
+// Code word layout: 72 bits = 64 data bits + 7 Hamming check bits + 1
+// overall parity bit. Internally, bits occupy Hamming positions 1..71
+// with check bits at the power-of-two positions (1,2,4,8,16,32,64) and
+// data bits filling the rest; position 0 holds the overall parity.
+
+// dataPos[i] is the Hamming position (1..71) of data bit i.
+var dataPos = buildDataPositions()
+
+// posData[p] is the data-bit index stored at Hamming position p, or -1
+// for check-bit positions.
+var posData = buildPosData()
+
+func buildDataPositions() [64]int {
+	var out [64]int
+	i := 0
+	for p := 1; p <= 71 && i < 64; p++ {
+		if p&(p-1) == 0 { // power of two: check bit
+			continue
+		}
+		out[i] = p
+		i++
+	}
+	if i != 64 {
+		panic("ecc: internal: wrong number of data positions")
+	}
+	return out
+}
+
+func buildPosData() [72]int {
+	var out [72]int
+	for p := range out {
+		out[p] = -1
+	}
+	for i, p := range dataPos {
+		out[p] = i
+	}
+	return out
+}
+
+// Encode computes the 8 check bits for a 64-bit data word. The returned
+// byte has the 7 Hamming syndrome bits in bits 0..6 and the overall
+// parity in bit 7.
+func Encode(data uint64) byte {
+	var syndrome int
+	parity := 0
+	for i := 0; i < 64; i++ {
+		if data>>uint(i)&1 == 1 {
+			syndrome ^= dataPos[i]
+			parity ^= 1
+		}
+	}
+	// The check bits at power-of-two positions are exactly the syndrome
+	// bits; each set check bit also contributes to the overall parity.
+	for b := 0; b < 7; b++ {
+		if syndrome>>uint(b)&1 == 1 {
+			parity ^= 1
+		}
+	}
+	return byte(syndrome) | byte(parity)<<7
+}
+
+// Decode checks a received (data, check) pair, correcting a single
+// flipped bit anywhere in the 72-bit code word (data, check, or parity
+// bit). It returns the corrected data and the number of corrected bits
+// (0 or 1). A double-bit error returns ErrUncorrectable.
+func Decode(data uint64, check byte) (corrected uint64, fixed int, err error) {
+	// Syndrome: recomputed Hamming check bits XOR received check bits.
+	syndrome := int(Encode(data)^check) & 0x7f
+
+	// Overall parity of the received 72-bit codeword. A valid codeword
+	// has even total parity; odd parity pinpoints a single-bit error.
+	totalParity := parity64(data) ^ int(popcount8(check)&1)
+
+	switch {
+	case syndrome == 0 && totalParity == 0:
+		return data, 0, nil
+	case totalParity == 1:
+		if syndrome == 0 {
+			// The overall parity bit itself flipped; data is intact.
+			return data, 1, nil
+		}
+		// Single-bit error at Hamming position = syndrome.
+		if syndrome > 71 {
+			return data, 0, fmt.Errorf("%w: syndrome %d out of range", ErrUncorrectable, syndrome)
+		}
+		if di := posData[syndrome]; di >= 0 {
+			return data ^ 1<<uint(di), 1, nil
+		}
+		// A check bit flipped; data is intact.
+		return data, 1, nil
+	default:
+		// Non-zero syndrome with even overall parity: double-bit error.
+		return data, 0, ErrUncorrectable
+	}
+}
+
+// parity64 returns the XOR of all bits of v.
+func parity64(v uint64) int {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return int(v & 1)
+}
+
+// popcount8 counts set bits in a byte.
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

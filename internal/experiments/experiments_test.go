@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig11Shape(t *testing.T) {
+	pts, err := Fig11(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		// Paper: ~8.2 Gbps/lane sustained regardless of hop count.
+		if p.GbpsPerLane < 7.5 || p.GbpsPerLane > 8.3 {
+			t.Errorf("hops %d: %.2f Gbps, want ~8", p.Hops, p.GbpsPerLane)
+		}
+		// Paper: 0.48us per hop.
+		perHop := p.LatencyUs / float64(p.Hops)
+		if perHop < 0.45 || perHop > 0.7 {
+			t.Errorf("hops %d: %.2fus per hop, want ~0.5", p.Hops, perHop)
+		}
+	}
+	s := FormatFig11(pts)
+	if !strings.Contains(s, "Figure 11") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) Fig12Row {
+		for _, r := range rows {
+			if r.Path == name {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s", name)
+		return Fig12Row{}
+	}
+	ispf, hf, hrhf, hd := get("ISP-F"), get("H-F"), get("H-RH-F"), get("H-D")
+	if !(ispf.TotalUs < hf.TotalUs && hf.TotalUs < hrhf.TotalUs) {
+		t.Fatalf("ordering broken: %.0f %.0f %.0f", ispf.TotalUs, hf.TotalUs, hrhf.TotalUs)
+	}
+	if hd.TotalUs >= hf.TotalUs {
+		t.Fatalf("H-D (%.0f) should beat H-F (%.0f)", hd.TotalUs, hf.TotalUs)
+	}
+	if ispf.SoftwareUs != 0 {
+		t.Fatalf("ISP-F has software latency %.1f, want 0", ispf.SoftwareUs)
+	}
+	// Paper: "in all 4 cases, the network latency is insignificant".
+	for _, r := range rows {
+		if r.NetworkUs > 0.1*r.TotalUs {
+			t.Errorf("%s: network %.1fus is not insignificant vs %.1f", r.Path, r.NetworkUs, r.TotalUs)
+		}
+	}
+	// H-D has (nearly) no storage component.
+	if hd.StorageUs > 5 {
+		t.Errorf("H-D storage %.1fus, want ~0 (DRAM)", hd.StorageUs)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		for _, r := range rows {
+			if r.Scenario == name {
+				return r.GBps
+			}
+		}
+		t.Fatalf("missing scenario %s", name)
+		return 0
+	}
+	hostLocal := get("Host-Local")
+	ispLocal := get("ISP-Local")
+	isp2 := get("ISP-2Nodes")
+	isp3 := get("ISP-3Nodes")
+
+	// Paper: Host-Local capped by PCIe at 1.6; ISP-Local 2.4;
+	// ISP-2Nodes ~3.4 (one link); ISP-3Nodes ~6.5 (two links each).
+	if hostLocal > 1.6 || hostLocal < 1.3 {
+		t.Errorf("Host-Local %.2f GB/s, want ~1.5-1.6 (PCIe cap)", hostLocal)
+	}
+	if ispLocal < 1.9 || ispLocal > 2.4 {
+		t.Errorf("ISP-Local %.2f GB/s, want ~2.2 (2 cards)", ispLocal)
+	}
+	if isp2 < ispLocal+0.7 || isp2 > ispLocal+1.1 {
+		t.Errorf("ISP-2Nodes %.2f GB/s, want local+~1 (one 8.2Gbps link)", isp2)
+	}
+	if isp3 < 5.0 || isp3 > 6.6 {
+		t.Errorf("ISP-3Nodes %.2f GB/s, want ~6 (two remotes, two links each)", isp3)
+	}
+	if !(hostLocal < ispLocal && ispLocal < isp2 && isp2 < isp3) {
+		t.Fatalf("bars not increasing: %.2f %.2f %.2f %.2f", hostLocal, ispLocal, isp2, isp3)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	pts, err := Fig16([]int{2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := map[string]map[int]float64{}
+	for _, p := range pts {
+		if val[p.Series] == nil {
+			val[p.Series] = map[int]float64{}
+		}
+		val[p.Series][p.Threads] = p.KCmpSec
+	}
+	// Baseline flat at ~250-300K; throttled ~60-73K; DRAM scales with
+	// threads and overtakes the baseline somewhere past 4 threads.
+	if v := val["1 Node"][4]; v < 200 || v > 330 {
+		t.Errorf("baseline %vK, want ~250-320K", v)
+	}
+	if v := val["Throttled"][4]; v < 55 || v > 74 {
+		t.Errorf("throttled %vK, want ~60-73K", v)
+	}
+	if val["DRAM"][4] > val["1 Node"][4] {
+		t.Errorf("at 4 threads DRAM (%.0fK) should not yet beat the ISP (%.0fK)",
+			val["DRAM"][4], val["1 Node"][4])
+	}
+	if val["DRAM"][16] < val["1 Node"][16] {
+		t.Errorf("at 16 threads DRAM (%.0fK) should beat the ISP (%.0fK)",
+			val["DRAM"][16], val["1 Node"][16])
+	}
+	if val["DRAM"][16] <= val["DRAM"][4] {
+		t.Error("DRAM series does not scale with threads")
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	pts, err := Fig17([]int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := map[string]map[int]float64{}
+	for _, p := range pts {
+		if val[p.Series] == nil {
+			val[p.Series] = map[int]float64{}
+		}
+		val[p.Series][p.Threads] = p.KCmpSec
+	}
+	// The collapse: mixed residency far below pure DRAM; disk worse
+	// than flash; ISP above both mixed configurations.
+	if !(val["10% Flash"][8] < val["DRAM"][8]/3) {
+		t.Errorf("10%% flash (%.0fK) should collapse vs DRAM (%.0fK)",
+			val["10% Flash"][8], val["DRAM"][8])
+	}
+	if !(val["5% Disk"][8] < val["10% Flash"][8]) {
+		t.Errorf("5%% disk (%.0fK) should be below 10%% flash (%.0fK)",
+			val["5% Disk"][8], val["10% Flash"][8])
+	}
+	if !(val["ISP"][8] > val["10% Flash"][8]) {
+		t.Errorf("throttled ISP (%.0fK) should beat 10%% flash (%.0fK)",
+			val["ISP"][8], val["10% Flash"][8])
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	pts, err := Fig18([]int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := map[string]map[int]float64{}
+	for _, p := range pts {
+		if val[p.Series] == nil {
+			val[p.Series] = map[int]float64{}
+		}
+		val[p.Series][p.Threads] = p.KCmpSec
+	}
+	// Random SSD poor; sequentialized approaches the throttled ISP.
+	if !(val["Full Flash"][8] < 0.75*val["ISP"][8]) {
+		t.Errorf("random SSD (%.0fK) should be well below throttled ISP (%.0fK)",
+			val["Full Flash"][8], val["ISP"][8])
+	}
+	if v := val["Seq Flash"][8] / val["ISP"][8]; v < 0.8 || v > 1.05 {
+		t.Errorf("sequential SSD should approach the ISP level: ratio %.2f", v)
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	pts, err := Fig19([]int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var isp, sw float64
+	for _, p := range pts {
+		switch p.Series {
+		case "ISP":
+			isp = p.KCmpSec
+		case "BlueDBM+SW":
+			sw = p.KCmpSec
+		}
+	}
+	adv := isp / sw
+	// Paper: "the accelerator advantage is at least 20%".
+	if adv < 1.15 || adv > 1.6 {
+		t.Fatalf("ISP advantage %.2fx (ISP %.0fK vs SW %.0fK), want ~1.2x", adv, isp, sw)
+	}
+}
+
+func TestFig20Shape(t *testing.T) {
+	rows, err := Fig20()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		for _, r := range rows {
+			if r.Access == name {
+				return r.LookupsPerSec
+			}
+		}
+		t.Fatalf("missing %s", name)
+		return 0
+	}
+	ispf, hf, hrhf := get("ISP-F"), get("H-F"), get("H-RH-F")
+	f50, f30, hdram := get("50%F"), get("30%F"), get("H-DRAM")
+	if !(ispf > hf && hf > hrhf) {
+		t.Fatalf("flash path ordering broken: %.0f %.0f %.0f", ispf, hf, hrhf)
+	}
+	if r := ispf / hrhf; r < 2.0 || r > 4.5 {
+		t.Fatalf("ISP-F / H-RH-F = %.2f, paper reports ~3", r)
+	}
+	if !(hrhf < f50 && f50 < f30 && f30 < hdram) {
+		t.Fatalf("DRAM-mix ordering broken: %.0f %.0f %.0f %.0f", hrhf, f50, f30, hdram)
+	}
+	if ispf < f50 {
+		t.Fatalf("ISP-F (%.0f) must beat 50%%-DRAM (%.0f): the paper's headline", ispf, f50)
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	rows, err := Fig21()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig21Row{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	isp := byName["Flash/ISP"]
+	sw := byName["Flash/SW Grep"]
+	hdd := byName["HDD/SW Grep"]
+
+	// Paper: 1.1 GB/s at ~0% CPU.
+	if isp.MBps < 900 || isp.MBps > 1100 {
+		t.Errorf("Flash/ISP %.0f MB/s, want ~1000-1100", isp.MBps)
+	}
+	if isp.CPUUtil > 0.02 {
+		t.Errorf("Flash/ISP CPU %.0f%%, want ~0", isp.CPUUtil*100)
+	}
+	// Paper: SSD-bound grep at 65% CPU.
+	if sw.MBps < 350 || sw.MBps > 620 {
+		t.Errorf("Flash/SW %.0f MB/s, want IO-bound 400-600", sw.MBps)
+	}
+	if sw.CPUUtil < 0.40 || sw.CPUUtil > 0.80 {
+		t.Errorf("Flash/SW CPU %.0f%%, want ~65%%", sw.CPUUtil*100)
+	}
+	// Paper: ISP 7.5x faster than HDD grep, which sits at 13% CPU.
+	if r := isp.MBps / hdd.MBps; r < 5.5 || r > 9.5 {
+		t.Errorf("ISP/HDD speedup %.1fx, paper reports 7.5x", r)
+	}
+	if hdd.CPUUtil > 0.25 {
+		t.Errorf("HDD/SW CPU %.0f%%, want low (~13%%)", hdd.CPUUtil*100)
+	}
+	if isp.Matches == 0 {
+		t.Error("no matches found; experiment is vacuous")
+	}
+}
+
+func TestTablesFormat(t *testing.T) {
+	for _, s := range []string{FormatTable1(8), FormatTable2(8), FormatTable3(2)} {
+		if !strings.Contains(s, "Total") {
+			t.Fatalf("table missing totals:\n%s", s)
+		}
+	}
+	if !Table1(8).Fits() || !Table2(8).Fits() {
+		t.Fatal("designs do not fit their FPGAs")
+	}
+	if Table3(2).Total() != 240 {
+		t.Fatalf("node power %.0f, want 240", Table3(2).Total())
+	}
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel/lsh"
+	"repro/internal/altstore"
+	"repro/internal/core"
+	"repro/internal/hostmodel"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// NNPoint is one (threads, series) measurement of Figures 16-19, in
+// thousands of Hamming comparisons per second.
+type NNPoint struct {
+	Series  string
+	Threads int
+	KCmpSec float64
+}
+
+// Shared nearest-neighbor workload sizing.
+const (
+	nnItems       = 320
+	nnComparisons = 1400
+	nnSeed        = 41
+)
+
+// nnCluster builds a single-node appliance with the dataset seeded.
+func nnCluster() (*core.Cluster, []core.PageAddr, []int, []byte, map[int][]byte, error) {
+	c, err := core.NewCluster(scaledParams(1))
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	ps := c.Params.PageSize()
+	items, query, err := workload.NearDuplicateSet(nnItems, ps, 7, 40, nnSeed)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	if err := c.SeedLinear(0, nnItems, func(idx int, page []byte) {
+		copy(page, items[idx])
+	}); err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	// Candidate stream: round-robin over the dataset, nnComparisons long.
+	addrs := make([]core.PageAddr, nnComparisons)
+	ids := make([]int, nnComparisons)
+	for i := range addrs {
+		ids[i] = i % nnItems
+		addrs[i] = core.LinearPage(c.Params, 0, ids[i])
+	}
+	return c, addrs, ids, query, items, nil
+}
+
+// nnCandidates returns the id stream for in-memory backends.
+func nnCandidates() []int {
+	ids := make([]int, nnComparisons)
+	for i := range ids {
+		ids[i] = i % nnItems
+	}
+	return ids
+}
+
+// nnHost builds the host-only environment (no appliance).
+func nnHost() (*sim.Engine, *hostmodel.CPU, map[int][]byte, []byte, error) {
+	eng := sim.NewEngine()
+	cpu, err := hostmodel.New(eng, "host", hostmodel.DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	items, query, err := workload.NearDuplicateSet(nnItems, 8192, 7, 40, nnSeed)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return eng, cpu, items, query, nil
+}
+
+func ispRate(throttleBps int64) (float64, error) {
+	c, addrs, ids, query, _, err := nnCluster()
+	if err != nil {
+		return 0, err
+	}
+	var throttle *sim.Pipe
+	if throttleBps > 0 {
+		throttle = sim.NewPipe(c.Eng, "throttle", throttleBps, 0)
+	}
+	res, err := lsh.RunISP(c, 0, addrs, ids, query, throttle)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerSec / 1000, nil
+}
+
+func dramRate(threads int) (float64, error) {
+	eng, cpu, items, query, err := nnHost()
+	if err != nil {
+		return 0, err
+	}
+	res, err := lsh.RunHostDRAM(eng, cpu, items, nnCandidates(), query, threads)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerSec / 1000, nil
+}
+
+// Fig16 reproduces Figure 16: Baseline (BlueDBM ISP), Baseline-T
+// (throttled to the off-the-shelf SSD's 600 MB/s) and H-DRAM
+// (multithreaded software on DRAM-resident data) across thread counts.
+func Fig16(threadSweep []int) ([]NNPoint, error) {
+	if len(threadSweep) == 0 {
+		threadSweep = []int{2, 4, 6, 8, 10, 12, 14, 16}
+	}
+	var out []NNPoint
+	base, err := ispRate(0)
+	if err != nil {
+		return nil, err
+	}
+	thr, err := ispRate(600_000_000)
+	if err != nil {
+		return nil, err
+	}
+	for _, th := range threadSweep {
+		d, err := dramRate(th)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out,
+			NNPoint{Series: "DRAM", Threads: th, KCmpSec: d},
+			NNPoint{Series: "1 Node", Threads: th, KCmpSec: base},
+			NNPoint{Series: "Throttled", Threads: th, KCmpSec: thr},
+		)
+	}
+	return out, nil
+}
+
+// Fig17 reproduces Figure 17: mostly-DRAM configurations. The ISP
+// series is the throttled baseline; the mixed series fault 10% of
+// accesses to an SSD or 5% to a disk.
+func Fig17(threadSweep []int) ([]NNPoint, error) {
+	if len(threadSweep) == 0 {
+		threadSweep = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	thr, err := ispRate(600_000_000)
+	if err != nil {
+		return nil, err
+	}
+	var out []NNPoint
+	for _, th := range threadSweep {
+		d, err := dramRate(th)
+		if err != nil {
+			return nil, err
+		}
+		eng, cpu, items, query, err := nnHost()
+		if err != nil {
+			return nil, err
+		}
+		ssd, err := altstore.NewSSD(eng, "m2", altstore.DefaultSSD())
+		if err != nil {
+			return nil, err
+		}
+		fl, err := lsh.RunMixedDRAM(eng, cpu, ssd, items, nnCandidates(), query, th, 10, 5)
+		if err != nil {
+			return nil, err
+		}
+		eng2, cpu2, items2, query2, err := nnHost()
+		if err != nil {
+			return nil, err
+		}
+		hdd, err := altstore.NewHDD(eng2, "disk", altstore.DefaultHDD())
+		if err != nil {
+			return nil, err
+		}
+		dk, err := lsh.RunMixedDRAM(eng2, cpu2, hdd, items2, nnCandidates(), query2, th, 5, 5)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out,
+			NNPoint{Series: "DRAM", Threads: th, KCmpSec: d},
+			NNPoint{Series: "ISP", Threads: th, KCmpSec: thr},
+			NNPoint{Series: "10% Flash", Threads: th, KCmpSec: fl.PerSec / 1000},
+			NNPoint{Series: "5% Disk", Threads: th, KCmpSec: dk.PerSec / 1000},
+		)
+	}
+	return out, nil
+}
+
+// Fig18 reproduces Figure 18: the off-the-shelf SSD under random
+// (H-RFlash) and artificially sequential (H-SFlash) access, against
+// the throttled ISP baseline.
+func Fig18(threadSweep []int) ([]NNPoint, error) {
+	if len(threadSweep) == 0 {
+		threadSweep = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	thr, err := ispRate(600_000_000)
+	if err != nil {
+		return nil, err
+	}
+	var out []NNPoint
+	for _, th := range threadSweep {
+		run := func(seq bool) (float64, error) {
+			eng, cpu, items, query, err := nnHost()
+			if err != nil {
+				return 0, err
+			}
+			ssd, err := altstore.NewSSD(eng, "m2", altstore.DefaultSSD())
+			if err != nil {
+				return 0, err
+			}
+			res, err := lsh.RunSSD(eng, cpu, ssd, items, nnCandidates(), query, th, seq)
+			if err != nil {
+				return 0, err
+			}
+			return res.PerSec / 1000, nil
+		}
+		rnd, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out,
+			NNPoint{Series: "ISP", Threads: th, KCmpSec: thr},
+			NNPoint{Series: "Seq Flash", Threads: th, KCmpSec: seq},
+			NNPoint{Series: "Full Flash", Threads: th, KCmpSec: rnd},
+		)
+	}
+	return out, nil
+}
+
+// Fig19 reproduces Figure 19: in-store processing versus host software
+// on the same throttled device (the accelerator advantage, >= 20%).
+func Fig19(threadSweep []int) ([]NNPoint, error) {
+	if len(threadSweep) == 0 {
+		threadSweep = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	thr, err := ispRate(600_000_000)
+	if err != nil {
+		return nil, err
+	}
+	var out []NNPoint
+	for _, th := range threadSweep {
+		c, addrs, ids, query, _, err := nnCluster()
+		if err != nil {
+			return nil, err
+		}
+		throttle := sim.NewPipe(c.Eng, "throttle", 600_000_000, 0)
+		sw, err := lsh.RunHostFlash(c, 0, addrs, ids, query, th, throttle)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out,
+			NNPoint{Series: "ISP", Threads: th, KCmpSec: thr},
+			NNPoint{Series: "BlueDBM+SW", Threads: th, KCmpSec: sw.PerSec / 1000},
+		)
+	}
+	return out, nil
+}
+
+// FormatNN renders a nearest-neighbor figure's series.
+func FormatNN(title string, pts []NNPoint) string {
+	// Pivot: rows = threads, columns = series (insertion order).
+	var seriesOrder []string
+	seen := map[string]bool{}
+	threadsOrder := []int{}
+	seenTh := map[int]bool{}
+	val := map[string]map[int]float64{}
+	for _, p := range pts {
+		if !seen[p.Series] {
+			seen[p.Series] = true
+			seriesOrder = append(seriesOrder, p.Series)
+			val[p.Series] = map[int]float64{}
+		}
+		if !seenTh[p.Threads] {
+			seenTh[p.Threads] = true
+			threadsOrder = append(threadsOrder, p.Threads)
+		}
+		val[p.Series][p.Threads] = p.KCmpSec
+	}
+	var t table
+	header := []string{"Threads"}
+	header = append(header, seriesOrder...)
+	t.row(header...)
+	for _, th := range threadsOrder {
+		row := []string{fmt.Sprint(th)}
+		for _, s := range seriesOrder {
+			row = append(row, f0(val[s][th]))
+		}
+		t.row(row...)
+	}
+	return title + " (K comparisons/s)\n" + t.String()
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"repro/internal/accel/graph"
+	"repro/internal/core"
+)
+
+// Fig20Row is one bar of Figure 20.
+type Fig20Row struct {
+	Access        string
+	LookupsPerSec float64
+}
+
+// Fig20 reproduces Figure 20 (§7.2): dependent-lookup graph traversal
+// throughput under each access configuration. The paper's result: the
+// integrated network plus in-store traversal (ISP-F) is ~3x a generic
+// distributed SSD (H-RH-F), and beats even a store with 50% of
+// accesses served by DRAM.
+func Fig20() ([]Fig20Row, error) {
+	type cfg struct {
+		name string
+		mode graph.Mode
+		pct  int
+	}
+	cfgs := []cfg{
+		{"ISP-F", graph.ModeISPF, 0},
+		{"H-F", graph.ModeHF, 0},
+		{"H-RH-F", graph.ModeHRHF, 0},
+		{"50%F", graph.ModeMixed, 50},
+		{"30%F", graph.ModeMixed, 30},
+		{"H-DRAM", graph.ModeHDRAM, 0},
+	}
+	var out []Fig20Row
+	for _, cf := range cfgs {
+		c, err := core.NewCluster(scaledParams(4))
+		if err != nil {
+			return nil, err
+		}
+		g, err := graph.Build(c, graph.Config{Vertices: 240, AvgDegree: 8, Seed: 23, HomeNode: 0})
+		if err != nil {
+			return nil, err
+		}
+		res, err := graph.Traverse(c, 0, g, graph.TraverseConfig{
+			Start: 3, Steps: 200, Mode: cf.mode, PctFlash: cf.pct, Seed: 29, Walkers: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig20Row{Access: cf.name, LookupsPerSec: res.LookupsPerSec})
+	}
+	return out, nil
+}
+
+// FormatFig20 renders the bars.
+func FormatFig20(rows []Fig20Row) string {
+	var t table
+	t.row("Access", "Lookups/s")
+	for _, r := range rows {
+		t.row(r.Access, f0(r.LookupsPerSec))
+	}
+	return "Figure 20: graph traversal performance\n" + t.String()
+}

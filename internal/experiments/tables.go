@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"repro/internal/fpga"
+	"repro/internal/power"
+)
+
+// Table1 reproduces the Artix-7 flash controller resource table for a
+// card with the given bus count (8 in the paper).
+func Table1(buses int) fpga.Report {
+	if buses <= 0 {
+		buses = 8
+	}
+	return fpga.FlashControllerReport(buses)
+}
+
+// Table2 reproduces the Virtex-7 host design resource table for the
+// given network fan-out (8 ports in the paper).
+func Table2(ports int) fpga.Report {
+	if ports <= 0 {
+		ports = 8
+	}
+	return fpga.HostFPGAReport(ports)
+}
+
+// Table3 reproduces the node power budget (2 flash cards in the paper).
+func Table3(flashCards int) power.Budget {
+	if flashCards <= 0 {
+		flashCards = 2
+	}
+	return power.NodeBudget(flashCards)
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(buses int) string {
+	return fpga.FormatTable("Table 1: flash controller on Artix-7 resource usage", Table1(buses))
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(ports int) string {
+	return fpga.FormatTable("Table 2: host Virtex-7 resource usage", Table2(ports))
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(cards int) string {
+	return power.FormatTable(Table3(cards))
+}

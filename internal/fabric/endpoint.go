@@ -1,0 +1,172 @@
+package fabric
+
+import (
+	"fmt"
+)
+
+// Endpoint is a logical endpoint (paper §3.2.1): a virtual channel over
+// the shared physical network with FIFO send/receive semantics. Each
+// endpoint has a cluster-unique index (indexes need not be contiguous)
+// and exists on every node that binds it.
+type Endpoint struct {
+	node  *Node
+	index int
+
+	// OnReceive is invoked for every delivered message with the source
+	// node, the payload size in bytes, and the payload itself.
+	OnReceive func(src NodeID, size int, payload any)
+
+	// e2eWindow > 0 enables end-to-end flow control: at most window
+	// unacknowledged messages per destination. Zero disables it for the
+	// low-latency configuration the paper describes (§3.2.3).
+	e2eWindow int
+	credits   map[NodeID]int
+	blocked   map[NodeID][]func()
+
+	nextSeq map[NodeID]uint64
+
+	// reassembly of in-flight inbound messages per source
+	partial map[NodeID]*partialMsg
+
+	// stats
+	Sent     int64
+	Received int64
+}
+
+type partialMsg struct {
+	got int
+}
+
+// BindEndpoint creates (or returns an error for a duplicate) logical
+// endpoint idx on this node.
+func (nd *Node) BindEndpoint(idx int) (*Endpoint, error) {
+	if _, dup := nd.endpoints[idx]; dup {
+		return nil, fmt.Errorf("%w: %d on node %d", ErrBadEndpoint, idx, nd.id)
+	}
+	ep := &Endpoint{
+		node:    nd,
+		index:   idx,
+		credits: make(map[NodeID]int),
+		blocked: make(map[NodeID][]func()),
+		nextSeq: make(map[NodeID]uint64),
+		partial: make(map[NodeID]*partialMsg),
+	}
+	nd.endpoints[idx] = ep
+	return ep, nil
+}
+
+// Endpoint returns the bound endpoint idx, or nil.
+func (nd *Node) Endpoint(idx int) *Endpoint { return nd.endpoints[idx] }
+
+// Index returns the endpoint's cluster-wide index.
+func (ep *Endpoint) Index() int { return ep.index }
+
+// Node returns the node this endpoint instance lives on.
+func (ep *Endpoint) Node() *Node { return ep.node }
+
+// SetEndToEnd enables end-to-end flow control with the given window
+// (messages in flight per destination), or disables it with 0.
+func (ep *Endpoint) SetEndToEnd(window int) {
+	ep.e2eWindow = window
+}
+
+// Send transmits a message of size payload bytes to the endpoint with
+// the same index on node dst. onAccepted (optional) fires when the
+// local send buffer is free — the sender-side backpressure signal.
+// Messages to the same destination arrive in send order.
+func (ep *Endpoint) Send(dst NodeID, size int, payload any, onAccepted func()) error {
+	if int(dst) < 0 || int(dst) >= len(ep.node.net.nodes) {
+		return fmt.Errorf("%w: destination %d", ErrNoRoute, dst)
+	}
+	if size < 0 {
+		return fmt.Errorf("fabric: negative size %d", size)
+	}
+	if ep.e2eWindow > 0 {
+		if _, ok := ep.credits[dst]; !ok {
+			ep.credits[dst] = ep.e2eWindow
+		}
+		if ep.credits[dst] == 0 {
+			ep.blocked[dst] = append(ep.blocked[dst], func() {
+				ep.transmitMsg(dst, size, payload, onAccepted, false, true)
+			})
+			return nil
+		}
+		ep.credits[dst]--
+		ep.transmitMsg(dst, size, payload, onAccepted, false, true)
+		return nil
+	}
+	ep.transmitMsg(dst, size, payload, onAccepted, false, false)
+	return nil
+}
+
+// transmitMsg segments and injects one message.
+func (ep *Endpoint) transmitMsg(dst NodeID, size int, payload any, onAccepted func(), ctrl, wantAck bool) {
+	ep.Sent++
+	mtu := ep.node.net.cfg.MTU
+	seq := ep.nextSeq[dst]
+	ep.nextSeq[dst] = seq + 1
+
+	remaining := size
+	offset := 0
+	for {
+		segBytes := remaining
+		if segBytes > mtu {
+			segBytes = mtu
+		}
+		last := remaining-segBytes == 0
+		seg := &segment{
+			src: ep.node.id, dst: dst, ep: ep.index,
+			msgSeq: seq, last: last, payload: segBytes, msgBytes: size,
+			ctrl: ctrl, wantAck: wantAck,
+		}
+		if last {
+			seg.body = payload
+		}
+		var acc func()
+		if last {
+			acc = onAccepted
+		}
+		if err := ep.node.inject(seg, acc); err != nil {
+			panic(fmt.Sprintf("fabric: inject failed after route check: %v", err))
+		}
+		offset += segBytes
+		remaining -= segBytes
+		if last {
+			break
+		}
+	}
+}
+
+// receiveSegment reassembles inbound segments; segments of one message
+// arrive contiguously in order because routing is deterministic and
+// links are FIFO.
+func (ep *Endpoint) receiveSegment(seg *segment) {
+	if seg.ctrl {
+		// Credit return: unblock one queued send toward seg.src.
+		ep.credits[seg.src]++
+		if q := ep.blocked[seg.src]; len(q) > 0 {
+			ep.blocked[seg.src] = q[1:]
+			ep.credits[seg.src]--
+			q[0]()
+		}
+		return
+	}
+	pm := ep.partial[seg.src]
+	if pm == nil {
+		pm = &partialMsg{}
+		ep.partial[seg.src] = pm
+	}
+	pm.got += seg.payload
+	if !seg.last {
+		return
+	}
+	delete(ep.partial, seg.src)
+	ep.Received++
+	if seg.wantAck {
+		// Return a credit to the sender as a small control message.
+		ep.transmitMsg(seg.src, ep.node.net.cfg.HeaderBytes, nil, nil, true, false)
+	}
+	if ep.OnReceive != nil {
+		ep.OnReceive(seg.src, seg.msgBytes, seg.body)
+	}
+}

@@ -1,0 +1,402 @@
+// Package fabric models BlueDBM's integrated storage network (paper
+// §3.2): a packet-switched mesh of storage devices connected by
+// high-speed serial links, with
+//
+//   - a link layer using token-based (credit) flow control, so packets
+//     are never dropped and backpressure propagates (§3.2.2);
+//   - external switches that forward packets hop by hop without a
+//     separate router box, and internal switches that deliver traffic
+//     to local components (§3.2, Figure 4);
+//   - deterministic per-endpoint routing: all packets from one logical
+//     endpoint to one destination take the same path, preserving FIFO
+//     order without completion buffers, while different endpoints may
+//     spread over different paths (§3.2.3, Figure 6);
+//   - logical endpoints with virtual-channel semantics and optional
+//     end-to-end flow control (§3.2.1, §3.2.3).
+//
+// Links model the paper's 10 Gbps serial transceivers: 0.48 µs per hop
+// and ~8.2 Gbps effective payload bandwidth after 8b/10b and protocol
+// overhead (§5.2, Figure 11).
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Fabric errors.
+var (
+	ErrNoRoute      = errors.New("fabric: no route to destination")
+	ErrPortsFull    = errors.New("fabric: node has no free ports")
+	ErrBadEndpoint  = errors.New("fabric: endpoint index already in use")
+	ErrNotConnected = errors.New("fabric: topology is not connected")
+)
+
+// NodeID numbers a storage node in the cluster.
+type NodeID int
+
+// Config sets the physical parameters of every link in the network.
+type Config struct {
+	// LinkBytesPerSec is the effective payload bandwidth of one link
+	// (wire rate minus encoding/protocol overhead). The paper's links
+	// run 10 Gbps on the wire and sustain 8.2 Gbps of payload.
+	LinkBytesPerSec int64
+	// HopLatency is the switch traversal + wire propagation per hop.
+	HopLatency sim.Time
+	// InternalLatency is the internal-switch delivery latency for
+	// traffic terminating at (or sourced by) the local node.
+	InternalLatency sim.Time
+	// HeaderBytes is the per-segment header carried on the wire.
+	HeaderBytes int
+	// MTU is the maximum payload bytes per wire segment. Larger sends
+	// are cut into MTU segments, which pipeline across hops the way the
+	// hardware streams flits (cut-through-like behaviour).
+	MTU int
+	// LinkTokens is the credit depth per link direction: how many
+	// segments the receiver can buffer. Token exhaustion backpressures
+	// the sender (§3.2.2).
+	LinkTokens int
+	// PortsPerNode bounds the fan-out, 8 in the paper's hardware.
+	PortsPerNode int
+}
+
+// DefaultConfig matches the paper's implementation (§5.2).
+func DefaultConfig() Config {
+	return Config{
+		LinkBytesPerSec: 1_025_000_000, // 8.2 Gbps effective
+		HopLatency:      480 * sim.Nanosecond,
+		InternalLatency: 100 * sim.Nanosecond,
+		HeaderBytes:     8,
+		MTU:             1024,
+		LinkTokens:      16,
+		PortsPerNode:    8,
+	}
+}
+
+// segment is the wire unit: one MTU-or-smaller piece of a message.
+type segment struct {
+	src, dst NodeID
+	ep       int    // logical endpoint index
+	msgSeq   uint64 // per (ep, src, dst) message number
+	last     bool   // final segment of its message
+	payload  int    // payload bytes in this segment
+	msgBytes int    // total payload bytes of the message
+	body     any    // user payload; carried on the last segment
+	ctrl     bool   // end-to-end credit return, bypasses e2e windows
+	wantAck  bool   // sender runs e2e flow control; return a credit
+}
+
+// halfLink is one direction of a physical link.
+type halfLink struct {
+	pipe   *sim.Pipe
+	tokens *sim.TokenPool
+	to     *Node
+	toPort int
+}
+
+// Link is a full-duplex cable between two node ports.
+type Link struct {
+	a, b   *Node
+	ab, ba *halfLink
+	aPort  int
+	bPort  int
+}
+
+// Network is the cluster-wide fabric.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes []*Node
+	links []*Link
+
+	// stats
+	Delivered  sim.Counter
+	SegsMoved  sim.Counter
+	BytesMoved sim.Counter
+}
+
+// Node is one storage device's network personality: its ports, its
+// switch, and its logical endpoints.
+type Node struct {
+	net       *Network
+	id        NodeID
+	ports     []*halfLink // outgoing half-links by port index; nil = free
+	portPeer  []NodeID    // neighbor on each port, -1 = free
+	endpoints map[int]*Endpoint
+	// routes[ep][dst] = output port. Endpoint key -1 holds default
+	// routes used by endpoints with no specific entry.
+	routes map[int][]int
+}
+
+// New creates a network with n nodes and no links.
+func New(eng *sim.Engine, cfg Config, n int) *Network {
+	net := &Network{eng: eng, cfg: cfg}
+	for i := 0; i < n; i++ {
+		node := &Node{
+			net:       net,
+			id:        NodeID(i),
+			ports:     make([]*halfLink, cfg.PortsPerNode),
+			portPeer:  make([]NodeID, cfg.PortsPerNode),
+			endpoints: make(map[int]*Endpoint),
+			routes:    make(map[int][]int),
+		}
+		for p := range node.portPeer {
+			node.portPeer[p] = -1
+		}
+		net.nodes = append(net.nodes, node)
+	}
+	return net
+}
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// Node returns node i.
+func (n *Network) Node(i NodeID) *Node { return n.nodes[i] }
+
+// Config returns the fabric configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Links returns the number of physical cables.
+func (n *Network) Links() int { return len(n.links) }
+
+// Connect cables nodes a and b together using their lowest free ports.
+// Multiple parallel cables between the same pair are allowed (the
+// paper's ring uses 4 lanes between neighbors).
+func (n *Network) Connect(a, b NodeID) error {
+	na, nb := n.nodes[a], n.nodes[b]
+	pa, pb := na.freePort(), nb.freePort()
+	if pa < 0 {
+		return fmt.Errorf("%w: node %d", ErrPortsFull, a)
+	}
+	if pb < 0 {
+		return fmt.Errorf("%w: node %d", ErrPortsFull, b)
+	}
+	mk := func(dir string, to *Node, toPort int) *halfLink {
+		name := fmt.Sprintf("link%d-%d/%s", a, b, dir)
+		return &halfLink{
+			pipe:   sim.NewPipe(n.eng, name, n.cfg.LinkBytesPerSec, n.cfg.HopLatency),
+			tokens: sim.NewTokenPool(name, n.cfg.LinkTokens),
+			to:     to,
+			toPort: toPort,
+		}
+	}
+	l := &Link{a: na, b: nb, aPort: pa, bPort: pb}
+	l.ab = mk("ab", nb, pb)
+	l.ba = mk("ba", na, pa)
+	na.ports[pa] = l.ab
+	na.portPeer[pa] = b
+	nb.ports[pb] = l.ba
+	nb.portPeer[pb] = a
+	n.links = append(n.links, l)
+	return nil
+}
+
+func (nd *Node) freePort() int {
+	for i, p := range nd.ports {
+		if p == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// ID returns the node's identity.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// Neighbors returns the distinct node IDs wired to this node.
+func (nd *Node) Neighbors() []NodeID {
+	var out []NodeID
+	seen := map[NodeID]bool{}
+	for _, peer := range nd.portPeer {
+		if peer >= 0 && !seen[peer] {
+			seen[peer] = true
+			out = append(out, peer)
+		}
+	}
+	return out
+}
+
+// ComputeRoutes fills every node's routing tables with deterministic
+// shortest-path routes. For each (endpoint, destination) the next hop
+// is fixed, but different endpoints rotate across equal-cost ports, so
+// traffic from different endpoints spreads over parallel links while
+// each endpoint's stream stays FIFO (paper §3.2.3). maxEndpoint is the
+// highest endpoint index routes are precomputed for.
+func (n *Network) ComputeRoutes(maxEndpoint int) error {
+	nn := len(n.nodes)
+	// dist[d][v]: hop count from v to d.
+	for d := 0; d < nn; d++ {
+		dist := n.bfs(NodeID(d))
+		for v := 0; v < nn; v++ {
+			if v == d {
+				continue
+			}
+			if dist[v] < 0 {
+				return fmt.Errorf("%w: node %d cannot reach %d", ErrNotConnected, v, d)
+			}
+			// Candidate ports: neighbors one hop closer to d.
+			node := n.nodes[v]
+			var cands []int
+			for p, peer := range node.portPeer {
+				if peer >= 0 && dist[peer] == dist[v]-1 {
+					cands = append(cands, p)
+				}
+			}
+			if len(cands) == 0 {
+				return fmt.Errorf("%w: node %d has no next hop to %d", ErrNotConnected, v, d)
+			}
+			for ep := 0; ep <= maxEndpoint; ep++ {
+				tbl, ok := node.routes[ep]
+				if !ok {
+					tbl = make([]int, nn)
+					for i := range tbl {
+						tbl[i] = -1
+					}
+					node.routes[ep] = tbl
+				}
+				tbl[d] = cands[(ep+d)%len(cands)]
+			}
+		}
+	}
+	return nil
+}
+
+// bfs returns hop distances from every node to dst (-1 = unreachable).
+func (n *Network) bfs(dst NodeID) []int {
+	dist := make([]int, len(n.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []NodeID{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, peer := range n.nodes[v].portPeer {
+			if peer >= 0 && dist[peer] < 0 {
+				dist[peer] = dist[v] + 1
+				queue = append(queue, peer)
+			}
+		}
+	}
+	return dist
+}
+
+// SetRoute overrides the route for one (endpoint, destination) pair on
+// a node — the "routing configured dynamically by the software" hook.
+func (nd *Node) SetRoute(ep int, dst NodeID, port int) error {
+	if port < 0 || port >= len(nd.ports) || nd.ports[port] == nil {
+		return fmt.Errorf("fabric: node %d port %d is not cabled", nd.id, port)
+	}
+	tbl, ok := nd.routes[ep]
+	if !ok {
+		tbl = make([]int, len(nd.net.nodes))
+		for i := range tbl {
+			tbl[i] = -1
+		}
+		nd.routes[ep] = tbl
+	}
+	tbl[dst] = port
+	return nil
+}
+
+// routePort resolves the output port for (ep, dst), falling back to
+// endpoint 0's table when the endpoint has no private table.
+func (nd *Node) routePort(ep int, dst NodeID) (int, error) {
+	if tbl, ok := nd.routes[ep]; ok && tbl[dst] >= 0 {
+		return tbl[dst], nil
+	}
+	if tbl, ok := nd.routes[0]; ok && tbl[dst] >= 0 {
+		return tbl[dst], nil
+	}
+	return 0, fmt.Errorf("%w: node %d ep %d -> node %d", ErrNoRoute, nd.id, ep, dst)
+}
+
+// inject starts a segment from its source node: route lookup, token
+// acquire, wire transfer. onAccepted fires once the segment is on the
+// wire (source-side buffer freed), which is the sender's backpressure.
+func (nd *Node) inject(seg *segment, onAccepted func()) error {
+	if seg.dst == nd.id {
+		// Local delivery through the internal switch only.
+		nd.net.eng.After(nd.net.cfg.InternalLatency, func() {
+			nd.deliver(seg)
+			if onAccepted != nil {
+				onAccepted()
+			}
+		})
+		return nil
+	}
+	port, err := nd.routePort(seg.ep, seg.dst)
+	if err != nil {
+		return err
+	}
+	hl := nd.ports[port]
+	hl.tokens.Acquire(1, func() {
+		if onAccepted != nil {
+			onAccepted()
+		}
+		nd.transmit(hl, seg)
+	})
+	return nil
+}
+
+// transmit puts a segment on a half-link; arrival is handled by the
+// peer's external switch.
+func (nd *Node) transmit(hl *halfLink, seg *segment) {
+	wire := seg.payload + nd.net.cfg.HeaderBytes
+	nd.net.SegsMoved.Inc()
+	nd.net.BytesMoved.Add(int64(seg.payload))
+	hl.pipe.Transfer(wire, func() {
+		hl.to.arrive(hl, seg)
+	})
+}
+
+// arrive runs the external switch at a receiving node: deliver locally
+// or forward toward the destination. The inbound token is held until
+// the segment leaves this node, so congestion backpressures upstream.
+func (nd *Node) arrive(in *halfLink, seg *segment) {
+	if seg.dst == nd.id {
+		nd.net.eng.After(nd.net.cfg.InternalLatency, func() {
+			nd.deliver(seg)
+			in.tokens.Release(1)
+		})
+		return
+	}
+	port, err := nd.routePort(seg.ep, seg.dst)
+	if err != nil {
+		// No route mid-path is a wiring bug: drop loudly.
+		panic(fmt.Sprintf("fabric: node %d cannot forward to %d: %v", nd.id, seg.dst, err))
+	}
+	out := nd.ports[port]
+	out.tokens.Acquire(1, func() {
+		in.tokens.Release(1)
+		nd.transmit(out, seg)
+	})
+}
+
+// deliver hands a segment to its endpoint.
+func (nd *Node) deliver(seg *segment) {
+	ep, ok := nd.endpoints[seg.ep]
+	if !ok {
+		// Delivery to an unbound endpoint is silently dropped, like
+		// hardware writing to an unselected channel.
+		return
+	}
+	ep.receiveSegment(seg)
+	if seg.last && !seg.ctrl {
+		nd.net.Delivered.Inc()
+	}
+}
+
+// LinkUtilization reports the utilization of each direction of every
+// link, for load-distribution experiments.
+func (n *Network) LinkUtilization() []float64 {
+	var out []float64
+	for _, l := range n.links {
+		out = append(out, l.ab.pipe.Utilization(), l.ba.pipe.Utilization())
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+// Package flashserver implements the sharing layer between the flash
+// controller and its many users (paper §3.1.2, Figure 3):
+//
+//   - Splitter: lets multiple hardware endpoints (local in-store
+//     processors, host DMA, remote nodes) share one flash controller by
+//     renaming each agent's private tags onto the controller's tag
+//     space;
+//   - Server: converts the controller's out-of-order, interleaved burst
+//     interface into simple in-order request/response interfaces using
+//     page completion buffers;
+//   - ATU: the Address Translation Unit that maps (file handle, offset)
+//     streams from the host onto physical flash addresses.
+package flashserver
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/flashctl"
+)
+
+// ErrPortClosed reports use of a released port.
+var ErrPortClosed = errors.New("flashserver: port closed")
+
+// Splitter multiplexes agents onto one controller with tag renaming.
+type Splitter struct {
+	ctl      *flashctl.Controller
+	freeTags []int
+	queue    []*pendingCmd // waiting for a controller tag, FIFO
+	bindings []binding     // indexed by controller tag
+
+	// stats
+	renames int64
+	waits   int64
+}
+
+type binding struct {
+	port     *Port
+	agentTag int
+	active   bool
+}
+
+type pendingCmd struct {
+	port *Port
+	cmd  flashctl.Command
+}
+
+// Port is one agent's private view of the controller: its own tag
+// space and its own handler set.
+type Port struct {
+	sp     *Splitter
+	h      flashctl.Handlers
+	name   string
+	tagMap map[int]int // agent tag -> controller tag (for WriteData)
+	closed bool
+}
+
+// NewSplitter wires a splitter in front of ctl. The controller must
+// have been created with the splitter's dispatch handlers, which
+// callers get from Handlers(); see New for the usual one-call setup.
+func NewSplitter(ctl *flashctl.Controller) *Splitter {
+	sp := &Splitter{ctl: ctl}
+	n := ctl.Config().Tags
+	sp.bindings = make([]binding, n)
+	for i := n - 1; i >= 0; i-- {
+		sp.freeTags = append(sp.freeTags, i)
+	}
+	return sp
+}
+
+// Handlers returns the controller-side handler set that routes
+// completions back through the splitter. Pass this to flashctl.New.
+func (sp *Splitter) Handlers() flashctl.Handlers {
+	return flashctl.Handlers{
+		ReadChunk: func(tag, offset int, chunk []byte, last bool) {
+			b := sp.bindings[tag]
+			if b.active && b.port.h.ReadChunk != nil {
+				b.port.h.ReadChunk(b.agentTag, offset, chunk, last)
+			}
+		},
+		ReadDone: func(tag, corrected int, err error) {
+			b := sp.release(tag)
+			if b.port != nil && b.port.h.ReadDone != nil {
+				b.port.h.ReadDone(b.agentTag, corrected, err)
+			}
+		},
+		WriteDataReq: func(tag int) {
+			b := sp.bindings[tag]
+			if b.active && b.port.h.WriteDataReq != nil {
+				b.port.h.WriteDataReq(b.agentTag)
+			}
+		},
+		WriteDone: func(tag int, err error) {
+			b := sp.release(tag)
+			if b.port != nil {
+				delete(b.port.tagMap, b.agentTag)
+				if b.port.h.WriteDone != nil {
+					b.port.h.WriteDone(b.agentTag, err)
+				}
+			}
+		},
+		EraseDone: func(tag int, err error) {
+			b := sp.release(tag)
+			if b.port != nil && b.port.h.EraseDone != nil {
+				b.port.h.EraseDone(b.agentTag, err)
+			}
+		},
+	}
+}
+
+// release frees a controller tag, serves the wait queue, and returns
+// the binding that owned the tag.
+func (sp *Splitter) release(tag int) binding {
+	b := sp.bindings[tag]
+	sp.bindings[tag] = binding{}
+	sp.freeTags = append(sp.freeTags, tag)
+	sp.drain()
+	return b
+}
+
+func (sp *Splitter) drain() {
+	for len(sp.queue) > 0 && len(sp.freeTags) > 0 {
+		pc := sp.queue[0]
+		sp.queue = sp.queue[1:]
+		sp.submit(pc.port, pc.cmd)
+	}
+}
+
+func (sp *Splitter) submit(p *Port, cmd flashctl.Command) {
+	ctlTag := sp.freeTags[len(sp.freeTags)-1]
+	sp.freeTags = sp.freeTags[:len(sp.freeTags)-1]
+	sp.bindings[ctlTag] = binding{port: p, agentTag: cmd.Tag, active: true}
+	if cmd.Op == flashctl.OpWrite {
+		p.tagMap[cmd.Tag] = ctlTag
+	}
+	sp.renames++
+	renamed := cmd
+	renamed.Tag = ctlTag
+	if err := sp.ctl.Issue(renamed); err != nil {
+		// The splitter owns tag allocation, so this is a programming
+		// error in the model, not a runtime condition.
+		panic(fmt.Sprintf("flashserver: controller rejected renamed command: %v", err))
+	}
+}
+
+// NewPort creates an agent-facing port named for diagnostics.
+func (sp *Splitter) NewPort(name string, h flashctl.Handlers) *Port {
+	return &Port{sp: sp, h: h, name: name, tagMap: make(map[int]int)}
+}
+
+// Renames returns how many commands have been tag-renamed.
+func (sp *Splitter) Renames() int64 { return sp.renames }
+
+// Waits returns how many commands had to queue for a controller tag.
+func (sp *Splitter) Waits() int64 { return sp.waits }
+
+// Issue submits a command using the port's private tag space. Commands
+// queue FIFO when all controller tags are in flight.
+func (p *Port) Issue(cmd flashctl.Command) error {
+	if p.closed {
+		return ErrPortClosed
+	}
+	if cmd.Tag < 0 {
+		return fmt.Errorf("%w: %d", flashctl.ErrBadTag, cmd.Tag)
+	}
+	if len(p.sp.freeTags) == 0 {
+		p.sp.waits++
+		p.sp.queue = append(p.sp.queue, &pendingCmd{port: p, cmd: cmd})
+		return nil
+	}
+	p.sp.submit(p, cmd)
+	return nil
+}
+
+// WriteData forwards page data for an agent-tagged pending write.
+func (p *Port) WriteData(agentTag int, data []byte) error {
+	if p.closed {
+		return ErrPortClosed
+	}
+	ctlTag, ok := p.tagMap[agentTag]
+	if !ok {
+		return fmt.Errorf("%w: agent tag %d has no pending write", flashctl.ErrWrongState, agentTag)
+	}
+	return p.sp.ctl.WriteData(ctlTag, data)
+}
+
+// Close releases the port. In-flight completions for the port are
+// dropped silently, as when a hardware agent is reset.
+func (p *Port) Close() { p.closed = true }

@@ -1,0 +1,71 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Totals(t *testing.T) {
+	r := FlashControllerReport(8)
+	luts, regs, r36, _ := r.Totals()
+	// Paper Table 1: 75225 LUTs, 62801 registers, 181 BRAM.
+	if luts < 74000 || luts > 76500 {
+		t.Fatalf("Artix LUT total %d, paper reports 75225", luts)
+	}
+	if regs < 61500 || regs > 64000 {
+		t.Fatalf("Artix register total %d, paper reports 62801", regs)
+	}
+	if r36 < 175 || r36 > 187 {
+		t.Fatalf("Artix BRAM total %d, paper reports 181", r36)
+	}
+	if !r.Fits() {
+		t.Fatal("flash controller does not fit the Artix-7")
+	}
+	lp, _, _, _ := r.UtilizationPct()
+	// Paper: 56% of LUTs.
+	if lp < 50 || lp > 62 {
+		t.Fatalf("Artix LUT utilization %.0f%%, paper reports 56%%", lp)
+	}
+}
+
+func TestTable2Totals(t *testing.T) {
+	r := HostFPGAReport(8)
+	luts, regs, r36, r18 := r.Totals()
+	// Paper Table 2: 135271 LUTs, 135897 registers, 224 RAMB36, 18 RAMB18.
+	if luts < 133000 || luts > 137500 {
+		t.Fatalf("Virtex LUT total %d, paper reports 135271", luts)
+	}
+	if regs < 134000 || regs > 138000 {
+		t.Fatalf("Virtex register total %d, paper reports 135897", regs)
+	}
+	if r36 != 224 || r18 != 18 {
+		t.Fatalf("Virtex BRAM totals %d/%d, paper reports 224/18", r36, r18)
+	}
+	if !r.Fits() {
+		t.Fatal("host design does not fit the Virtex-7")
+	}
+	lp, _, _, _ := r.UtilizationPct()
+	// Paper: 45% of LUTs ("still enough space for accelerators").
+	if lp < 40 || lp > 50 {
+		t.Fatalf("Virtex LUT utilization %.0f%%, paper reports 45%%", lp)
+	}
+}
+
+func TestReducedFanOutUsesLess(t *testing.T) {
+	full := HostFPGAReport(8)
+	half := HostFPGAReport(4)
+	fl, _, _, _ := full.Totals()
+	hl, _, _, _ := half.Totals()
+	if hl >= fl {
+		t.Fatalf("4-port design (%d LUTs) should be smaller than 8-port (%d)", hl, fl)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	s := FormatTable("Table 1", FlashControllerReport(8))
+	for _, want := range []string{"Bus Controller", "ECC Decoder", "SerDes", "Total", "Utilization"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,521 @@
+// Package ftl implements the full flash translation layer that BlueDBM
+// runs in the host block device driver (paper §4): because the hardware
+// exposes raw error-corrected flash, logical-to-physical mapping,
+// garbage collection, wear leveling and bad-block management live in
+// software, where they can be smarter than an in-device controller
+// ("similar to Fusion IO's driver").
+//
+// It is a page-mapped FTL: every logical page number (LPN) maps to a
+// physical page (PPN); writes go to a moving frontier; greedy garbage
+// collection recycles the block with the fewest valid pages; periodic
+// wear-leveling passes recycle the coldest block instead so erase wear
+// stays even.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/flashserver"
+	"repro/internal/nand"
+)
+
+// FTL errors.
+var (
+	ErrUnmapped   = errors.New("ftl: logical page not written")
+	ErrOutOfRange = errors.New("ftl: logical page out of range")
+	ErrDataSize   = errors.New("ftl: data must be exactly one page")
+	ErrNoSpace    = errors.New("ftl: device full (no free blocks and nothing to collect)")
+)
+
+// Config tunes the FTL.
+type Config struct {
+	// OverProvision is the fraction of physical capacity hidden from
+	// the logical space and reserved for GC headroom.
+	OverProvision float64
+	// GCLowWater starts garbage collection when the free-block pool
+	// drops to this size.
+	GCLowWater int
+	// WearLevelEvery runs a wear-leveling pass instead of a greedy pass
+	// every N collections (0 disables static wear leveling).
+	WearLevelEvery int
+}
+
+// DefaultConfig uses typical SSD numbers.
+func DefaultConfig() Config {
+	return Config{OverProvision: 0.25, GCLowWater: 2, WearLevelEvery: 16}
+}
+
+type pageState uint8
+
+const (
+	pageFree pageState = iota
+	pageValid
+	pageInvalid
+)
+
+type blockInfo struct {
+	valid    int // valid pages
+	written  int // programmed pages (frontier within block)
+	erases   int64
+	bad      bool
+	isActive bool
+}
+
+// FTL drives one flash card through a flashserver interface.
+type FTL struct {
+	iface *flashserver.Iface
+	geo   nand.Geometry
+	cfg   Config
+
+	lpns      int   // logical space size
+	l2p       []int // lpn -> ppn, -1 if unmapped
+	p2l       []int // ppn -> lpn, -1 if none
+	pageState []pageState
+	blocks    []blockInfo
+	freePool  []int // free block indices
+
+	active     int // current frontier block, -1 if none
+	gcActive   bool
+	gcCount    int64
+	pendingOps []func() // writes queued behind GC
+
+	// stats
+	HostWrites    int64
+	HostReads     int64
+	FlashPrograms int64
+	FlashErases   int64
+	GCMoves       int64
+	BadBlocks     int64
+}
+
+// New builds an FTL over iface with the given card geometry.
+func New(iface *flashserver.Iface, geo nand.Geometry, cfg Config) (*FTL, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OverProvision < 0.02 || cfg.OverProvision >= 0.9 {
+		return nil, fmt.Errorf("ftl: over-provisioning %.2f out of range [0.02,0.9)", cfg.OverProvision)
+	}
+	if cfg.GCLowWater < 1 {
+		cfg.GCLowWater = 1
+	}
+	total := geo.TotalPages()
+	f := &FTL{
+		iface:     iface,
+		geo:       geo,
+		cfg:       cfg,
+		lpns:      int(float64(total) * (1 - cfg.OverProvision)),
+		l2p:       make([]int, total),
+		p2l:       make([]int, total),
+		pageState: make([]pageState, total),
+		blocks:    make([]blockInfo, geo.Buses*geo.ChipsPerBus*geo.BlocksPerChip),
+		active:    -1,
+	}
+	for i := range f.l2p {
+		f.l2p[i] = -1
+		f.p2l[i] = -1
+	}
+	for b := range f.blocks {
+		f.freePool = append(f.freePool, b)
+	}
+	return f, nil
+}
+
+// LogicalPages returns the size of the logical space.
+func (f *FTL) LogicalPages() int { return f.lpns }
+
+// WriteAmplification returns flash programs / host writes (1.0 = none).
+func (f *FTL) WriteAmplification() float64 {
+	if f.HostWrites == 0 {
+		return 0
+	}
+	return float64(f.FlashPrograms) / float64(f.HostWrites)
+}
+
+// FreeBlocks returns the current free pool size.
+func (f *FTL) FreeBlocks() int { return len(f.freePool) }
+
+// blockOf returns the block index containing a ppn.
+func (f *FTL) blockOf(ppn int) int { return ppn / f.geo.PagesPerBlock }
+
+// addrOf converts a linear ppn to a card address.
+func (f *FTL) addrOf(ppn int) nand.Addr {
+	p := ppn % f.geo.PagesPerBlock
+	b := ppn / f.geo.PagesPerBlock
+	blk := b % f.geo.BlocksPerChip
+	b /= f.geo.BlocksPerChip
+	chip := b % f.geo.ChipsPerBus
+	bus := b / f.geo.ChipsPerBus
+	return nand.Addr{Bus: bus, Chip: chip, Block: blk, Page: p}
+}
+
+// blockAddr returns the address of a block (page 0).
+func (f *FTL) blockAddr(blk int) nand.Addr {
+	a := f.addrOf(blk * f.geo.PagesPerBlock)
+	a.Page = 0
+	return a
+}
+
+// Read fetches a logical page.
+func (f *FTL) Read(lpn int, cb func(data []byte, err error)) {
+	if lpn < 0 || lpn >= f.lpns {
+		cb(nil, fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	ppn := f.l2p[lpn]
+	if ppn < 0 {
+		cb(nil, fmt.Errorf("%w: %d", ErrUnmapped, lpn))
+		return
+	}
+	f.HostReads++
+	f.iface.ReadPhysical(f.addrOf(ppn), cb)
+}
+
+// Write stores a logical page, remapping it to a fresh physical page.
+func (f *FTL) Write(lpn int, data []byte, cb func(err error)) {
+	if lpn < 0 || lpn >= f.lpns {
+		cb(fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	if len(data) != f.geo.PageSize {
+		cb(fmt.Errorf("%w: got %d want %d", ErrDataSize, len(data), f.geo.PageSize))
+		return
+	}
+	f.HostWrites++
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	f.enqueue(func() { f.doWrite(lpn, buf, cb) })
+}
+
+// Trim invalidates a logical page without writing.
+func (f *FTL) Trim(lpn int) error {
+	if lpn < 0 || lpn >= f.lpns {
+		return fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
+	}
+	if ppn := f.l2p[lpn]; ppn >= 0 {
+		f.invalidate(ppn)
+		f.l2p[lpn] = -1
+	}
+	return nil
+}
+
+// enqueue runs op now, or after the in-progress GC drains.
+func (f *FTL) enqueue(op func()) {
+	if f.gcActive {
+		f.pendingOps = append(f.pendingOps, op)
+		return
+	}
+	op()
+}
+
+func (f *FTL) doWrite(lpn int, data []byte, cb func(err error)) {
+	f.allocAndProgram(data, func(finalPPN int, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		// Power-safe ordering: the new copy is durable before the old
+		// mapping is dropped.
+		if old := f.l2p[lpn]; old >= 0 {
+			f.invalidate(old)
+		}
+		f.l2p[lpn] = finalPPN
+		f.p2l[finalPPN] = lpn
+		f.pageState[finalPPN] = pageValid
+		f.blocks[f.blockOf(finalPPN)].valid++
+		cb(nil)
+	})
+}
+
+// allocAndProgram takes a frontier page (starting GC first if needed)
+// and programs data into it, retrying on bad blocks.
+func (f *FTL) allocAndProgram(data []byte, cb func(finalPPN int, err error)) {
+	ppn, err := f.allocPage(func() { f.allocAndProgram(data, cb) })
+	if err != nil {
+		cb(-1, err)
+		return
+	}
+	if ppn < 0 {
+		return // GC started; this op was requeued
+	}
+	f.program(ppn, data, cb)
+}
+
+// program writes data at ppn, transparently retrying elsewhere when
+// the block turns out bad.
+func (f *FTL) program(ppn int, data []byte, cb func(finalPPN int, err error)) {
+	f.FlashPrograms++
+	f.iface.WritePhysical(f.addrOf(ppn), data, func(err error) {
+		if err == nil {
+			cb(ppn, nil)
+			return
+		}
+		if errors.Is(err, nand.ErrBadBlock) {
+			f.retireBlock(f.blockOf(ppn))
+			f.allocAndProgram(data, cb)
+			return
+		}
+		cb(-1, err)
+	})
+}
+
+// invalidate marks a physical page dead.
+func (f *FTL) invalidate(ppn int) {
+	if f.pageState[ppn] == pageValid {
+		f.blocks[f.blockOf(ppn)].valid--
+	}
+	f.pageState[ppn] = pageInvalid
+	f.p2l[ppn] = -1
+}
+
+// retireBlock permanently removes a block from service.
+func (f *FTL) retireBlock(blk int) {
+	if !f.blocks[blk].bad {
+		f.blocks[blk].bad = true
+		f.BadBlocks++
+		if f.active == blk {
+			f.active = -1
+		}
+	}
+}
+
+// allocPage returns the next frontier ppn, or (-1, nil) if GC had to
+// start first (retry is the op to requeue behind the GC).
+func (f *FTL) allocPage(retry func()) (int, error) {
+	for {
+		if f.active >= 0 {
+			b := &f.blocks[f.active]
+			if b.bad {
+				f.active = -1
+				continue
+			}
+			if b.written < f.geo.PagesPerBlock {
+				ppn := f.active*f.geo.PagesPerBlock + b.written
+				b.written++
+				return ppn, nil
+			}
+			b.isActive = false
+			f.active = -1
+		}
+		// Need a new active block.
+		if len(f.freePool) <= f.cfg.GCLowWater && !f.gcActive {
+			if f.victimExists() {
+				if retry != nil {
+					f.pendingOps = append(f.pendingOps, retry)
+				}
+				f.startGC()
+				return -1, nil
+			}
+			if len(f.freePool) == 0 {
+				return 0, ErrNoSpace
+			}
+		}
+		if len(f.freePool) == 0 {
+			return 0, ErrNoSpace
+		}
+		f.active = f.popLeastWorn()
+		ab := &f.blocks[f.active]
+		ab.isActive = true
+		ab.written = 0
+		ab.valid = 0
+	}
+}
+
+// popLeastWorn takes the free block with the fewest erases, spreading
+// dynamic wear evenly across the pool (the allocation half of wear
+// leveling; the victim-selection half is in pickVictim).
+func (f *FTL) popLeastWorn() int {
+	best := 0
+	for i := 1; i < len(f.freePool); i++ {
+		if f.blocks[f.freePool[i]].erases < f.blocks[f.freePool[best]].erases {
+			best = i
+		}
+	}
+	blk := f.freePool[best]
+	f.freePool = append(f.freePool[:best], f.freePool[best+1:]...)
+	return blk
+}
+
+// victimExists reports whether any sealed block could be collected.
+func (f *FTL) victimExists() bool {
+	return f.pickVictim() >= 0
+}
+
+// pickVictim selects the GC victim: normally the sealed block with the
+// fewest valid pages; every WearLevelEvery-th collection, the sealed
+// block with the lowest erase count (static wear leveling), so cold
+// blocks re-enter circulation.
+func (f *FTL) pickVictim() int {
+	wearPass := f.cfg.WearLevelEvery > 0 && f.gcCount > 0 && f.gcCount%int64(f.cfg.WearLevelEvery) == 0
+	best := -1
+	for b := range f.blocks {
+		bi := &f.blocks[b]
+		if bi.bad || bi.isActive || bi.written < f.geo.PagesPerBlock {
+			continue
+		}
+		if bi.valid == f.geo.PagesPerBlock && !wearPass {
+			continue // nothing to gain
+		}
+		if best < 0 {
+			best = b
+			continue
+		}
+		if wearPass {
+			if bi.erases < f.blocks[best].erases {
+				best = b
+			}
+		} else if bi.valid < f.blocks[best].valid {
+			best = b
+		}
+	}
+	return best
+}
+
+// startGC collects one victim block, then drains queued operations.
+func (f *FTL) startGC() {
+	victim := f.pickVictim()
+	if victim < 0 {
+		f.finishGC()
+		return
+	}
+	f.gcActive = true
+	f.gcCount++
+	f.relocateNext(victim, 0)
+}
+
+// relocateNext moves valid pages out of the victim, one at a time, then
+// erases it.
+func (f *FTL) relocateNext(victim, page int) {
+	if page >= f.geo.PagesPerBlock {
+		f.eraseVictim(victim)
+		return
+	}
+	ppn := victim*f.geo.PagesPerBlock + page
+	if f.pageState[ppn] != pageValid {
+		f.relocateNext(victim, page+1)
+		return
+	}
+	lpn := f.p2l[ppn]
+	f.iface.ReadPhysical(f.addrOf(ppn), func(data []byte, err error) {
+		if err != nil {
+			// Unreadable during GC: drop the mapping (data loss would be
+			// surfaced by ECC in the read path; here the page was
+			// already read once by the host if it mattered).
+			f.invalidate(ppn)
+			if lpn >= 0 {
+				f.l2p[lpn] = -1
+			}
+			f.relocateNext(victim, page+1)
+			return
+		}
+		dst, aerr := f.gcAllocPage()
+		if aerr != nil {
+			// No room to move: abort the GC; the write that triggered
+			// it will fail with ErrNoSpace on retry.
+			f.finishGC()
+			return
+		}
+		f.GCMoves++
+		f.program(dst, data, func(finalPPN int, perr error) {
+			if perr != nil {
+				f.finishGC()
+				return
+			}
+			f.invalidate(ppn)
+			f.l2p[lpn] = finalPPN
+			f.p2l[finalPPN] = lpn
+			f.pageState[finalPPN] = pageValid
+			f.blocks[f.blockOf(finalPPN)].valid++
+			f.relocateNext(victim, page+1)
+		})
+	})
+}
+
+// gcAllocPage allocates a relocation target without recursing into GC.
+func (f *FTL) gcAllocPage() (int, error) {
+	for {
+		if f.active >= 0 {
+			b := &f.blocks[f.active]
+			if !b.bad && b.written < f.geo.PagesPerBlock {
+				ppn := f.active*f.geo.PagesPerBlock + b.written
+				b.written++
+				return ppn, nil
+			}
+			b.isActive = false
+			f.active = -1
+		}
+		if len(f.freePool) == 0 {
+			return 0, ErrNoSpace
+		}
+		f.active = f.popLeastWorn()
+		ab := &f.blocks[f.active]
+		ab.isActive = true
+		ab.written = 0
+		ab.valid = 0
+	}
+}
+
+func (f *FTL) eraseVictim(victim int) {
+	f.FlashErases++
+	f.iface.Erase(f.blockAddr(victim), func(err error) {
+		bi := &f.blocks[victim]
+		if err != nil {
+			f.retireBlock(victim)
+		} else {
+			bi.erases++
+			bi.valid = 0
+			bi.written = 0
+			base := victim * f.geo.PagesPerBlock
+			for p := 0; p < f.geo.PagesPerBlock; p++ {
+				f.pageState[base+p] = pageFree
+				f.p2l[base+p] = -1
+			}
+			f.freePool = append(f.freePool, victim)
+		}
+		f.finishGC()
+	})
+}
+
+// finishGC drains operations queued while collecting.
+func (f *FTL) finishGC() {
+	f.gcActive = false
+	ops := f.pendingOps
+	f.pendingOps = nil
+	for _, op := range ops {
+		if f.gcActive {
+			// A drained op re-triggered GC; requeue the rest.
+			f.pendingOps = append(f.pendingOps, op)
+			continue
+		}
+		op()
+	}
+}
+
+// MaxEraseSkew returns max-min erase count across serviceable blocks,
+// the wear-leveling quality metric.
+func (f *FTL) MaxEraseSkew() int64 {
+	var min, max int64 = -1, 0
+	for b := range f.blocks {
+		if f.blocks[b].bad {
+			continue
+		}
+		e := f.blocks[b].erases
+		if min < 0 || e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return max - min
+}
+
+// MappingEntries returns the size of the FTL's logical-to-physical
+// table. Unlike a file system's extent maps, it covers the whole
+// logical space whether or not data is live — the "large DRAM"
+// cost the paper attributes to in-device FTLs (§4).
+func (f *FTL) MappingEntries() int { return len(f.l2p) }

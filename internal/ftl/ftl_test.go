@@ -1,0 +1,319 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flashctl"
+	"repro/internal/flashserver"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// harness provides a synchronous view of the FTL for tests: every call
+// runs the event engine to completion.
+type harness struct {
+	eng  *sim.Engine
+	card *nand.Card
+	ftl  *FTL
+}
+
+func newHarness(t *testing.T, geo nand.Geometry, rel nand.Reliability, cfg Config) *harness {
+	t.Helper()
+	eng := sim.NewEngine()
+	card, err := nand.NewCard(eng, "card", geo, nand.DefaultTiming(), rel, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp *flashserver.Splitter
+	ctl, err := flashctl.New(eng, card, flashctl.DefaultConfig(), flashctl.Handlers{
+		ReadChunk:    func(tag, off int, chunk []byte, last bool) { sp.Handlers().ReadChunk(tag, off, chunk, last) },
+		ReadDone:     func(tag, c int, err error) { sp.Handlers().ReadDone(tag, c, err) },
+		WriteDataReq: func(tag int) { sp.Handlers().WriteDataReq(tag) },
+		WriteDone:    func(tag int, err error) { sp.Handlers().WriteDone(tag, err) },
+		EraseDone:    func(tag int, err error) { sp.Handlers().EraseDone(tag, err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp = flashserver.NewSplitter(ctl)
+	srv := flashserver.NewServer(sp, "ftl", 16)
+	f, err := New(srv.NewIface("ftl"), geo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{eng: eng, card: card, ftl: f}
+}
+
+func smallGeo() nand.Geometry {
+	return nand.Geometry{
+		Buses: 2, ChipsPerBus: 1, BlocksPerChip: 8, PagesPerBlock: 8,
+		PageSize: 512, OOBSize: 64,
+	}
+}
+
+func (h *harness) write(t *testing.T, lpn int, data []byte) error {
+	t.Helper()
+	var result error = errors.New("write never completed")
+	h.ftl.Write(lpn, data, func(err error) { result = err })
+	h.eng.Run()
+	return result
+}
+
+func (h *harness) read(t *testing.T, lpn int) ([]byte, error) {
+	t.Helper()
+	var data []byte
+	var result error = errors.New("read never completed")
+	h.ftl.Read(lpn, func(d []byte, err error) { data, result = d, err })
+	h.eng.Run()
+	return data, result
+}
+
+func page(geo nand.Geometry, seed byte) []byte {
+	b := make([]byte, geo.PageSize)
+	for i := range b {
+		b[i] = seed ^ byte(i*3)
+	}
+	return b
+}
+
+func TestWriteReadBack(t *testing.T) {
+	h := newHarness(t, smallGeo(), nand.Reliability{}, DefaultConfig())
+	for lpn := 0; lpn < 10; lpn++ {
+		if err := h.write(t, lpn, page(smallGeo(), byte(lpn))); err != nil {
+			t.Fatalf("write %d: %v", lpn, err)
+		}
+	}
+	for lpn := 0; lpn < 10; lpn++ {
+		got, err := h.read(t, lpn)
+		if err != nil {
+			t.Fatalf("read %d: %v", lpn, err)
+		}
+		if !bytes.Equal(got, page(smallGeo(), byte(lpn))) {
+			t.Fatalf("lpn %d: wrong data", lpn)
+		}
+	}
+}
+
+func TestOverwriteRemaps(t *testing.T) {
+	h := newHarness(t, smallGeo(), nand.Reliability{}, DefaultConfig())
+	for v := 0; v < 5; v++ {
+		if err := h.write(t, 3, page(smallGeo(), byte(0x40+v))); err != nil {
+			t.Fatalf("overwrite %d: %v", v, err)
+		}
+	}
+	got, err := h.read(t, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page(smallGeo(), 0x44)) {
+		t.Fatal("overwrite did not return latest version")
+	}
+	// 5 host writes, no GC expected yet: WA == 1.
+	if wa := h.ftl.WriteAmplification(); wa != 1 {
+		t.Fatalf("write amplification = %f, want 1.0", wa)
+	}
+}
+
+func TestUnmappedAndRangeErrors(t *testing.T) {
+	h := newHarness(t, smallGeo(), nand.Reliability{}, DefaultConfig())
+	if _, err := h.read(t, 0); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("read unmapped: %v", err)
+	}
+	if _, err := h.read(t, 1<<20); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read out of range: %v", err)
+	}
+	if err := h.write(t, 1<<20, page(smallGeo(), 0)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("write out of range: %v", err)
+	}
+	if err := h.write(t, 0, []byte{1}); !errors.Is(err, ErrDataSize) {
+		t.Fatalf("short write: %v", err)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	h := newHarness(t, smallGeo(), nand.Reliability{}, DefaultConfig())
+	if err := h.write(t, 1, page(smallGeo(), 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ftl.Trim(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.read(t, 1); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("read after trim: %v", err)
+	}
+	if err := h.ftl.Trim(1 << 20); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("trim out of range: %v", err)
+	}
+}
+
+func TestGarbageCollectionReclaims(t *testing.T) {
+	// Fill the logical space, then overwrite it several times: GC must
+	// keep the device writable and data intact.
+	geo := smallGeo()
+	h := newHarness(t, geo, nand.Reliability{}, Config{OverProvision: 0.25, GCLowWater: 2, WearLevelEvery: 0})
+	lpns := h.ftl.LogicalPages()
+	version := make(map[int]byte)
+	// Seed every page once, then overwrite in random order so blocks
+	// hold mixed valid/invalid pages and GC must relocate data.
+	for lpn := 0; lpn < lpns; lpn++ {
+		if err := h.write(t, lpn, page(geo, byte(lpn))); err != nil {
+			t.Fatalf("seed lpn %d: %v", lpn, err)
+		}
+		version[lpn] = byte(lpn)
+	}
+	rng := sim.NewRNG(99)
+	for i := 0; i < 3*lpns; i++ {
+		lpn := rng.Intn(lpns)
+		v := byte(rng.Intn(256))
+		if err := h.write(t, lpn, page(geo, v)); err != nil {
+			t.Fatalf("random overwrite %d (lpn %d): %v", i, lpn, err)
+		}
+		version[lpn] = v
+	}
+	if h.ftl.FlashErases == 0 {
+		t.Fatal("no GC happened despite 4x overwrite of full logical space")
+	}
+	if wa := h.ftl.WriteAmplification(); wa <= 1.0 {
+		t.Fatalf("WA = %f, want > 1 after GC", wa)
+	}
+	for lpn := 0; lpn < lpns; lpn++ {
+		got, err := h.read(t, lpn)
+		if err != nil {
+			t.Fatalf("post-GC read %d: %v", lpn, err)
+		}
+		if !bytes.Equal(got, page(geo, version[lpn])) {
+			t.Fatalf("post-GC lpn %d: wrong data", lpn)
+		}
+	}
+}
+
+func TestWearLeveling(t *testing.T) {
+	// Hammer a single logical page; wear-leveling passes must spread
+	// erases beyond the handful of blocks greedy GC would reuse.
+	geo := smallGeo()
+	withWL := newHarness(t, geo, nand.Reliability{}, Config{OverProvision: 0.25, GCLowWater: 2, WearLevelEvery: 4})
+	noWL := newHarness(t, geo, nand.Reliability{}, Config{OverProvision: 0.25, GCLowWater: 2, WearLevelEvery: 0})
+	for _, h := range []*harness{withWL, noWL} {
+		// Touch every logical page once so all blocks hold data.
+		for lpn := 0; lpn < h.ftl.LogicalPages(); lpn++ {
+			if err := h.write(t, lpn, page(geo, byte(lpn))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			if err := h.write(t, 0, page(geo, byte(i))); err != nil {
+				t.Fatalf("hot write %d: %v", i, err)
+			}
+		}
+	}
+	// Skew must be substantially lower with static wear leveling: the
+	// cold blocks re-enter circulation instead of pinning erases onto
+	// the over-provisioning pool.
+	if withWL.ftl.MaxEraseSkew()*2 > noWL.ftl.MaxEraseSkew() {
+		t.Fatalf("wear leveling did not reduce skew enough: with=%d without=%d",
+			withWL.ftl.MaxEraseSkew(), noWL.ftl.MaxEraseSkew())
+	}
+}
+
+func TestBadBlockRetirement(t *testing.T) {
+	geo := smallGeo()
+	h := newHarness(t, geo, nand.Reliability{}, DefaultConfig())
+	// Poison two blocks before any writes.
+	h.card.MarkBad(nand.Addr{Bus: 0, Chip: 0, Block: 0})
+	h.card.MarkBad(nand.Addr{Bus: 1, Chip: 0, Block: 3})
+	for lpn := 0; lpn < h.ftl.LogicalPages()/2; lpn++ {
+		if err := h.write(t, lpn, page(geo, byte(lpn))); err != nil {
+			t.Fatalf("write with bad blocks present: %v", err)
+		}
+	}
+	if h.ftl.BadBlocks == 0 {
+		t.Fatal("bad blocks never detected")
+	}
+	for lpn := 0; lpn < h.ftl.LogicalPages()/2; lpn++ {
+		got, err := h.read(t, lpn)
+		if err != nil || !bytes.Equal(got, page(geo, byte(lpn))) {
+			t.Fatalf("data lost around bad blocks: lpn %d err %v", lpn, err)
+		}
+	}
+}
+
+func TestDeviceFull(t *testing.T) {
+	// A device with no invalid pages to collect must fail cleanly.
+	geo := smallGeo()
+	h := newHarness(t, geo, nand.Reliability{}, Config{OverProvision: 0.05, GCLowWater: 1, WearLevelEvery: 0})
+	var lastErr error
+	for lpn := 0; lpn < h.ftl.LogicalPages(); lpn++ {
+		if err := h.write(t, lpn, page(geo, byte(lpn))); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	// With 5% OP on a tiny device this either fits exactly or errors
+	// with ErrNoSpace; anything else (hang, corruption) is a bug.
+	if lastErr != nil && !errors.Is(lastErr, ErrNoSpace) {
+		t.Fatalf("unexpected failure: %v", lastErr)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	geo := smallGeo()
+	if _, err := New(nil, geo, Config{OverProvision: 0.001}); err == nil {
+		t.Fatal("tiny over-provisioning accepted")
+	}
+	if _, err := New(nil, nand.Geometry{}, DefaultConfig()); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+}
+
+// Property: any random stream of write/trim ops leaves the FTL
+// equivalent to an in-memory map, even with GC churn.
+func TestFTLOracleProperty(t *testing.T) {
+	geo := nand.Geometry{
+		Buses: 1, ChipsPerBus: 1, BlocksPerChip: 6, PagesPerBlock: 4,
+		PageSize: 64, OOBSize: 8,
+	}
+	prop := func(ops []uint16) bool {
+		h := newHarness(t, geo, nand.Reliability{}, Config{OverProvision: 0.3, GCLowWater: 2, WearLevelEvery: 8})
+		lpns := h.ftl.LogicalPages()
+		oracle := make(map[int][]byte)
+		for i, op := range ops {
+			lpn := int(op) % lpns
+			switch op % 3 {
+			case 0, 1: // write
+				data := bytes.Repeat([]byte{byte(i)}, geo.PageSize)
+				if err := h.write(t, lpn, data); err != nil {
+					if errors.Is(err, ErrNoSpace) {
+						continue
+					}
+					return false
+				}
+				oracle[lpn] = data
+			case 2: // trim
+				if err := h.ftl.Trim(lpn); err != nil {
+					return false
+				}
+				delete(oracle, lpn)
+			}
+		}
+		for lpn := 0; lpn < lpns; lpn++ {
+			want, ok := oracle[lpn]
+			got, err := h.read(t, lpn)
+			if !ok {
+				if !errors.Is(err, ErrUnmapped) {
+					return false
+				}
+				continue
+			}
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

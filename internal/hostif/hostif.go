@@ -1,0 +1,256 @@
+// Package hostif models BlueDBM's host interface (paper §3.3, §5.3):
+// a Connectal-style PCIe endpoint providing RPC and DMA between the
+// host server and the storage device.
+//
+// Faithful elements:
+//
+//   - 128 page buffers each for reads and writes, handed out from free
+//     queues, to keep many transfers in flight;
+//   - a DMA engine that needs enough contiguous data before issuing a
+//     burst, fed by dual-ported per-buffer FIFOs ("a vector of FIFOs",
+//     Figure 7) because flash data arrives interleaved across buses
+//     and remote nodes;
+//   - PCIe Gen1 bandwidth caps: 1.6 GB/s device-to-host and 1.0 GB/s
+//     host-to-device, which Figure 13 shows capping Host-Local reads;
+//   - RPC doorbell and completion-interrupt latencies, plus the driver
+//     software overhead that in-store processing avoids (Figure 12).
+package hostif
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Host interface errors.
+var (
+	ErrBadBuffer = errors.New("hostif: buffer index out of range or not busy")
+)
+
+// Config sizes the host interface.
+type Config struct {
+	ReadBuffers         int   // device -> host page buffers
+	WriteBuffers        int   // host -> device page buffers
+	PageBytes           int   // page buffer size
+	ToHostBytesPerSec   int64 // DMA write into host DRAM (reads)
+	FromHostBytesPerSec int64 // DMA read from host DRAM (writes)
+	PCIeLatency         sim.Time
+	RPCLatency          sim.Time // doorbell -> hardware dispatch
+	InterruptLatency    sim.Time // hardware completion -> host wakeup
+	DMABurst            int      // minimum contiguous bytes per DMA burst
+	// SoftwareOverhead is the host storage-stack cost (driver, block
+	// layer, context switches) charged to every host-initiated flash
+	// operation — the dominant "Software" band of Fig. 12.
+	SoftwareOverhead sim.Time
+	// LightSoftware is the cost of a lightweight user-level request
+	// path that never enters the storage stack (serving a cached page
+	// from DRAM, key-value style). It is what makes the H-D path fast.
+	LightSoftware sim.Time
+}
+
+// DefaultConfig matches the paper's Connectal PCIe Gen 1 deployment.
+func DefaultConfig() Config {
+	return Config{
+		ReadBuffers:         128,
+		WriteBuffers:        128,
+		PageBytes:           8192,
+		ToHostBytesPerSec:   1_600_000_000,
+		FromHostBytesPerSec: 1_000_000_000,
+		PCIeLatency:         700 * sim.Nanosecond,
+		RPCLatency:          900 * sim.Nanosecond,
+		InterruptLatency:    2 * sim.Microsecond,
+		DMABurst:            512,
+		SoftwareOverhead:    70 * sim.Microsecond,
+		LightSoftware:       15 * sim.Microsecond,
+	}
+}
+
+// bufState tracks one read buffer's per-buffer FIFO.
+type bufState struct {
+	fifo      int  // bytes accumulated, not yet bursted
+	dmaQueued int  // bytes handed to the DMA pipe
+	dmaDone   int  // bytes landed in host memory
+	expect    int  // total bytes of the page transfer (when known)
+	lastSeen  bool // producer finished filling
+	onDone    func()
+}
+
+// HostIf is one node's PCIe host link.
+type HostIf struct {
+	eng *sim.Engine
+	cfg Config
+
+	toHost   *sim.Pipe
+	fromHost *sim.Pipe
+
+	readFree    *sim.TokenPool
+	writeFree   *sim.TokenPool
+	readBufs    []bufState
+	readFreeIdx []int // stack of free read-buffer indices
+
+	// stats
+	RPCs       sim.Counter
+	PagesUp    sim.Counter // device -> host pages completed
+	PagesDown  sim.Counter // host -> device pages completed
+	Interrupts sim.Counter
+}
+
+// New builds a host interface.
+func New(eng *sim.Engine, name string, cfg Config) (*HostIf, error) {
+	if cfg.ReadBuffers <= 0 || cfg.WriteBuffers <= 0 || cfg.PageBytes <= 0 ||
+		cfg.ToHostBytesPerSec <= 0 || cfg.FromHostBytesPerSec <= 0 || cfg.DMABurst <= 0 {
+		return nil, fmt.Errorf("hostif: invalid config %+v", cfg)
+	}
+	h := &HostIf{
+		eng:       eng,
+		cfg:       cfg,
+		toHost:    sim.NewPipe(eng, name+"/pcie-up", cfg.ToHostBytesPerSec, cfg.PCIeLatency),
+		fromHost:  sim.NewPipe(eng, name+"/pcie-down", cfg.FromHostBytesPerSec, cfg.PCIeLatency),
+		readFree:  sim.NewTokenPool(name+"/rdbuf", cfg.ReadBuffers),
+		writeFree: sim.NewTokenPool(name+"/wrbuf", cfg.WriteBuffers),
+		readBufs:  make([]bufState, cfg.ReadBuffers),
+	}
+	for i := cfg.ReadBuffers - 1; i >= 0; i-- {
+		h.readFreeIdx = append(h.readFreeIdx, i)
+	}
+	return h, nil
+}
+
+// Config returns the interface configuration.
+func (h *HostIf) Config() Config { return h.cfg }
+
+// FreeReadBuffers returns the number of available read buffers.
+func (h *HostIf) FreeReadBuffers() int { return h.readFree.Available() }
+
+// RPC models the host ringing the device doorbell: fn runs device-side
+// after the RPC latency. It does not include SoftwareOverhead — call
+// ChargeSoftware for the driver path explicitly so in-store paths can
+// skip it, as the paper's architecture does.
+func (h *HostIf) RPC(fn func()) {
+	h.RPCs.Inc()
+	h.eng.After(h.cfg.RPCLatency, fn)
+}
+
+// ChargeSoftware runs fn after the host storage-stack overhead.
+func (h *HostIf) ChargeSoftware(fn func()) {
+	h.eng.After(h.cfg.SoftwareOverhead, fn)
+}
+
+// ChargeLightSoftware runs fn after the lightweight (non-storage)
+// request-serving overhead.
+func (h *HostIf) ChargeLightSoftware(fn func()) {
+	h.eng.After(h.cfg.LightSoftware, fn)
+}
+
+// --- device -> host (read) path -------------------------------------
+
+// AcquireReadBuffer grants a free read-buffer index to fn, queueing
+// FIFO when all 128 are in use. onDone fires host-side (after the
+// completion interrupt) when the page transfer into host memory
+// finishes; the buffer stays owned until ReleaseReadBuffer.
+func (h *HostIf) AcquireReadBuffer(expectBytes int, onDone func(buf int), fn func(buf int)) {
+	h.readFree.Acquire(1, func() {
+		buf := h.readFreeIdx[len(h.readFreeIdx)-1]
+		h.readFreeIdx = h.readFreeIdx[:len(h.readFreeIdx)-1]
+		h.readBufs[buf] = bufState{expect: expectBytes}
+		if onDone != nil {
+			b := buf
+			h.readBufs[buf].onDone = func() { onDone(b) }
+		}
+		fn(buf)
+	})
+}
+
+// DeviceWriteChunk is called by device-side producers (flash interface,
+// network interface, in-store processor) as interleaved data lands in
+// read buffer buf. The per-buffer FIFO gates DMA bursts: only when
+// DMABurst contiguous bytes are queued (or the page is complete) does
+// the DMA engine issue a burst over PCIe.
+func (h *HostIf) DeviceWriteChunk(buf, n int, last bool) error {
+	if buf < 0 || buf >= len(h.readBufs) {
+		return fmt.Errorf("%w: %d", ErrBadBuffer, buf)
+	}
+	st := &h.readBufs[buf]
+	st.fifo += n
+	if last {
+		st.lastSeen = true
+	}
+	h.pump(buf)
+	return nil
+}
+
+// pump drains a read buffer's FIFO into PCIe bursts.
+func (h *HostIf) pump(buf int) {
+	st := &h.readBufs[buf]
+	for st.fifo >= h.cfg.DMABurst || (st.lastSeen && st.fifo > 0) {
+		burst := h.cfg.DMABurst
+		if burst > st.fifo {
+			burst = st.fifo
+		}
+		st.fifo -= burst
+		st.dmaQueued += burst
+		b := burst
+		h.toHost.Transfer(b, func() {
+			st.dmaDone += b
+			h.maybeComplete(buf)
+		})
+	}
+	h.maybeComplete(buf)
+}
+
+// maybeComplete raises the completion interrupt once the whole page
+// has landed.
+func (h *HostIf) maybeComplete(buf int) {
+	st := &h.readBufs[buf]
+	if !st.lastSeen || st.fifo != 0 || st.dmaDone != st.dmaQueued || st.onDone == nil {
+		return
+	}
+	done := st.onDone
+	st.onDone = nil
+	h.PagesUp.Inc()
+	h.Interrupts.Inc()
+	h.eng.After(h.cfg.InterruptLatency, done)
+}
+
+// ReleaseReadBuffer returns a buffer to the free queue.
+func (h *HostIf) ReleaseReadBuffer(buf int) error {
+	if buf < 0 || buf >= len(h.readBufs) {
+		return fmt.Errorf("%w: %d", ErrBadBuffer, buf)
+	}
+	h.readBufs[buf] = bufState{}
+	h.readFreeIdx = append(h.readFreeIdx, buf)
+	h.readFree.Release(1)
+	return nil
+}
+
+// --- host -> device (write) path ------------------------------------
+
+// AcquireWriteBuffer grants a free write-buffer index (the host then
+// memcpys page data into it, which we charge to the caller's own CPU
+// model, not here).
+func (h *HostIf) AcquireWriteBuffer(fn func(buf int)) {
+	h.writeFree.Acquire(1, func() { fn(0) })
+}
+
+// DeviceReadBuffer models the device DMA-reading size bytes from a
+// host write buffer; done runs device-side when the data has crossed
+// PCIe. Write-path DMA is a contiguous stream (paper: "straightforward
+// to parallelize"), so no per-buffer FIFO gating is needed.
+func (h *HostIf) DeviceReadBuffer(size int, done func()) {
+	h.fromHost.Transfer(size, func() {
+		h.PagesDown.Inc()
+		done()
+	})
+}
+
+// ReleaseWriteBuffer returns a write buffer to the free queue.
+func (h *HostIf) ReleaseWriteBuffer() {
+	h.writeFree.Release(1)
+}
+
+// ToHostUtilization reports PCIe device-to-host utilization.
+func (h *HostIf) ToHostUtilization() float64 { return h.toHost.Utilization() }
+
+// ToHostBytes reports total bytes DMAed into host memory.
+func (h *HostIf) ToHostBytes() int64 { return h.toHost.Transferred() }

@@ -1,0 +1,226 @@
+package hostif
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newIf(t *testing.T) (*sim.Engine, *HostIf) {
+	t.Helper()
+	eng := sim.NewEngine()
+	h, err := New(eng, "n0", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, h
+}
+
+func TestSinglePageReadPath(t *testing.T) {
+	eng, h := newIf(t)
+	var doneAt sim.Time = -1
+	var gotBuf = -1
+	h.AcquireReadBuffer(8192, func(buf int) {
+		doneAt = eng.Now()
+		gotBuf = buf
+		if err := h.ReleaseReadBuffer(buf); err != nil {
+			t.Error(err)
+		}
+	}, func(buf int) {
+		// Device fills the buffer in 4 interleaved 2KB chunks.
+		for i := 0; i < 4; i++ {
+			if err := h.DeviceWriteChunk(buf, 2048, i == 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	eng.Run()
+	if doneAt < 0 {
+		t.Fatal("completion never fired")
+	}
+	if gotBuf < 0 || gotBuf >= 128 {
+		t.Fatalf("buffer index %d", gotBuf)
+	}
+	// 8192B at 1.6GB/s = 5.12us + PCIe latency + interrupt latency.
+	min := sim.Time(8192 * 1000 / 1600)
+	if doneAt < min {
+		t.Fatalf("completed at %v, faster than PCIe allows (%v)", doneAt, min)
+	}
+	if h.PagesUp.Value() != 1 || h.Interrupts.Value() != 1 {
+		t.Fatalf("counters: pages=%d interrupts=%d", h.PagesUp.Value(), h.Interrupts.Value())
+	}
+}
+
+func TestDMABurstGating(t *testing.T) {
+	// Chunks smaller than the burst threshold must not reach PCIe until
+	// enough accumulate.
+	eng, h := newIf(t)
+	h.AcquireReadBuffer(1024, nil, func(buf int) {
+		if err := h.DeviceWriteChunk(buf, 100, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Run()
+	if h.ToHostBytes() != 0 {
+		t.Fatalf("%d bytes crossed PCIe with only 100 in the FIFO (burst=512)", h.ToHostBytes())
+	}
+	// Completing the page flushes the partial burst.
+	h.DeviceWriteChunk(0, 100, true)
+	eng.Run()
+	if h.ToHostBytes() != 200 {
+		t.Fatalf("flush moved %d bytes, want 200", h.ToHostBytes())
+	}
+}
+
+func TestInterleavedBuffersIndependent(t *testing.T) {
+	// Data landing interleaved across two buffers must complete each
+	// page independently (the vector-of-FIFOs property).
+	eng, h := newIf(t)
+	complete := map[int]bool{}
+	fill := func(buf int) {}
+	_ = fill
+	var bufs []int
+	for i := 0; i < 2; i++ {
+		h.AcquireReadBuffer(4096, func(buf int) {
+			complete[buf] = true
+		}, func(buf int) {
+			bufs = append(bufs, buf)
+		})
+	}
+	eng.Run()
+	if len(bufs) != 2 {
+		t.Fatalf("acquired %d buffers", len(bufs))
+	}
+	// Interleave chunks; buffer B finishes first.
+	a, b := bufs[0], bufs[1]
+	h.DeviceWriteChunk(a, 2048, false)
+	h.DeviceWriteChunk(b, 2048, false)
+	h.DeviceWriteChunk(b, 2048, true)
+	eng.Run()
+	if !complete[b] || complete[a] {
+		t.Fatalf("completion state a=%v b=%v, want only b", complete[a], complete[b])
+	}
+	h.DeviceWriteChunk(a, 2048, true)
+	eng.Run()
+	if !complete[a] {
+		t.Fatal("buffer a never completed")
+	}
+}
+
+func TestBufferPoolExhaustion(t *testing.T) {
+	eng, h := newIf(t)
+	// Take all 128 buffers.
+	taken := 0
+	for i := 0; i < 128; i++ {
+		h.AcquireReadBuffer(8192, nil, func(buf int) { taken++ })
+	}
+	eng.Run()
+	if taken != 128 {
+		t.Fatalf("took %d of 128", taken)
+	}
+	queued := false
+	h.AcquireReadBuffer(8192, nil, func(buf int) { queued = true })
+	eng.Run()
+	if queued {
+		t.Fatal("129th acquire should wait")
+	}
+	if err := h.ReleaseReadBuffer(5); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !queued {
+		t.Fatal("released buffer not granted to waiter")
+	}
+}
+
+func TestReadBandwidthCap(t *testing.T) {
+	// Streaming many pages through the read path cannot exceed 1.6GB/s.
+	eng, h := newIf(t)
+	const pages = 200
+	done := 0
+	var feed func()
+	feed = func() {
+		h.AcquireReadBuffer(8192, func(buf int) {
+			done++
+			h.ReleaseReadBuffer(buf)
+		}, func(buf int) {
+			for c := 0; c < 4; c++ {
+				h.DeviceWriteChunk(buf, 2048, c == 3)
+			}
+		})
+	}
+	for i := 0; i < pages; i++ {
+		feed()
+	}
+	eng.Run()
+	if done != pages {
+		t.Fatalf("completed %d of %d", done, pages)
+	}
+	bw := float64(pages*8192) / eng.Now().Seconds()
+	if bw > 1.6e9 {
+		t.Fatalf("achieved %.2e B/s, above the PCIe cap", bw)
+	}
+	if bw < 1.4e9 {
+		t.Fatalf("achieved %.2e B/s, PCIe should be nearly saturated", bw)
+	}
+}
+
+func TestWritePath(t *testing.T) {
+	eng, h := newIf(t)
+	var deviceGot sim.Time = -1
+	h.AcquireWriteBuffer(func(buf int) {
+		// Host fills buffer (charged elsewhere), rings RPC, device pulls.
+		h.RPC(func() {
+			h.DeviceReadBuffer(8192, func() {
+				deviceGot = eng.Now()
+				h.ReleaseWriteBuffer()
+			})
+		})
+	})
+	eng.Run()
+	if deviceGot < 0 {
+		t.Fatal("device never received data")
+	}
+	// 8192B at 1.0GB/s = 8.192us minimum.
+	if deviceGot < sim.Time(8192) {
+		t.Fatalf("write landed at %v, faster than 1GB/s PCIe", deviceGot)
+	}
+	if h.PagesDown.Value() != 1 {
+		t.Fatalf("PagesDown = %d", h.PagesDown.Value())
+	}
+}
+
+func TestRPCAndSoftwareLatencies(t *testing.T) {
+	eng, h := newIf(t)
+	cfg := h.Config()
+	var rpcAt, swAt sim.Time = -1, -1
+	h.RPC(func() { rpcAt = eng.Now() })
+	h.ChargeSoftware(func() { swAt = eng.Now() })
+	eng.Run()
+	if rpcAt != cfg.RPCLatency {
+		t.Fatalf("RPC fired at %v, want %v", rpcAt, cfg.RPCLatency)
+	}
+	if swAt != cfg.SoftwareOverhead {
+		t.Fatalf("software path fired at %v, want %v", swAt, cfg.SoftwareOverhead)
+	}
+}
+
+func TestBadBufferIndex(t *testing.T) {
+	_, h := newIf(t)
+	if err := h.DeviceWriteChunk(-1, 10, false); err == nil {
+		t.Fatal("negative buffer accepted")
+	}
+	if err := h.DeviceWriteChunk(999, 10, false); err == nil {
+		t.Fatal("out-of-range buffer accepted")
+	}
+	if err := h.ReleaseReadBuffer(999); err == nil {
+		t.Fatal("out-of-range release accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := New(eng, "x", Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

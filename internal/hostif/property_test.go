@@ -1,0 +1,93 @@
+package hostif
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// Property: for any sequence of chunk sizes summing to a page, exactly
+// the page's bytes cross PCIe and exactly one completion interrupt
+// fires.
+func TestDMAConservationProperty(t *testing.T) {
+	prop := func(sizesRaw []uint16) bool {
+		eng := sim.NewEngine()
+		h, err := New(eng, "p", DefaultConfig())
+		if err != nil {
+			return false
+		}
+		// Normalize chunk sizes to a positive total <= page size.
+		var sizes []int
+		total := 0
+		for _, s := range sizesRaw {
+			n := int(s%1500) + 1
+			if total+n > 8192 {
+				break
+			}
+			sizes = append(sizes, n)
+			total += n
+		}
+		if len(sizes) == 0 {
+			sizes = []int{100}
+			total = 100
+		}
+		completions := 0
+		h.AcquireReadBuffer(total, func(buf int) {
+			completions++
+			h.ReleaseReadBuffer(buf)
+		}, func(buf int) {
+			for i, n := range sizes {
+				if err := h.DeviceWriteChunk(buf, n, i == len(sizes)-1); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		eng.Run()
+		return completions == 1 &&
+			h.ToHostBytes() == int64(total) &&
+			h.Interrupts.Value() == 1 &&
+			h.FreeReadBuffers() == h.Config().ReadBuffers
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: buffer churn never loses or duplicates buffers.
+func TestBufferPoolConservationProperty(t *testing.T) {
+	prop := func(ops []bool) bool {
+		eng := sim.NewEngine()
+		h, err := New(eng, "q", DefaultConfig())
+		if err != nil {
+			return false
+		}
+		var held []int
+		for _, acquire := range ops {
+			if acquire {
+				h.AcquireReadBuffer(64, nil, func(buf int) {
+					held = append(held, buf)
+				})
+				eng.Run()
+			} else if len(held) > 0 {
+				buf := held[len(held)-1]
+				held = held[:len(held)-1]
+				if err := h.ReleaseReadBuffer(buf); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		// No duplicates among held buffers.
+		seen := map[int]bool{}
+		for _, b := range held {
+			if seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		return h.FreeReadBuffers() == h.Config().ReadBuffers-len(held)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

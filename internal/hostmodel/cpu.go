@@ -1,0 +1,122 @@
+// Package hostmodel models the Xeon host server of each BlueDBM node:
+// a pool of cores running software threads, and a shared DRAM with
+// bounded bandwidth. The application-acceleration experiments (paper
+// §7) compare in-store processors against host software whose
+// throughput is set by per-item compute cost, core count, and memory
+// bandwidth; this package supplies exactly those knobs.
+package hostmodel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes the host machine (paper §5: 24 cores, 50 GB DRAM).
+type Config struct {
+	Cores           int
+	DRAMBytesPerSec int64
+	DRAMLatency     sim.Time
+}
+
+// DefaultConfig matches the paper's Xeon servers.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           24,
+		DRAMBytesPerSec: 60_000_000_000,
+		DRAMLatency:     100 * sim.Nanosecond,
+	}
+}
+
+// CPU is one host's compute model.
+type CPU struct {
+	eng      *sim.Engine
+	cfg      Config
+	runnable int // threads currently executing or queued
+	dram     *sim.Pipe
+
+	busy sim.Time // accumulated core-busy time, for utilization
+}
+
+// New builds a CPU model.
+func New(eng *sim.Engine, name string, cfg Config) (*CPU, error) {
+	if cfg.Cores <= 0 || cfg.DRAMBytesPerSec <= 0 {
+		return nil, fmt.Errorf("hostmodel: invalid config %+v", cfg)
+	}
+	return &CPU{
+		eng:  eng,
+		cfg:  cfg,
+		dram: sim.NewPipe(eng, name+"/dram", cfg.DRAMBytesPerSec, cfg.DRAMLatency),
+	}, nil
+}
+
+// Config returns the machine description.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Utilization returns the fraction of total core-time spent busy.
+func (c *CPU) Utilization() float64 {
+	if c.eng.Now() == 0 {
+		return 0
+	}
+	return float64(c.busy) / float64(int64(c.eng.Now())*int64(c.cfg.Cores))
+}
+
+// ReadDRAM charges a DRAM transfer of n bytes and runs fn when the
+// data is available. All threads share the bandwidth.
+func (c *CPU) ReadDRAM(n int, fn func()) {
+	c.dram.Transfer(n, fn)
+}
+
+// Thread is a software thread: a serial queue of compute work. Work on
+// different threads runs in parallel up to the core count; beyond it,
+// time-sharing stretches every running op proportionally.
+type Thread struct {
+	cpu     *CPU
+	queue   []workItem
+	running bool
+}
+
+type workItem struct {
+	cost sim.Time
+	fn   func()
+}
+
+// NewThread creates an idle thread.
+func (c *CPU) NewThread() *Thread {
+	return &Thread{cpu: c}
+}
+
+// Do queues fn to run after cost of compute. Ops on one thread are
+// strictly serial.
+func (t *Thread) Do(cost sim.Time, fn func()) {
+	if cost < 0 {
+		panic(fmt.Sprintf("hostmodel: negative cost %v", cost))
+	}
+	t.queue = append(t.queue, workItem{cost: cost, fn: fn})
+	if !t.running {
+		t.running = true
+		t.cpu.runnable++
+		t.next()
+	}
+}
+
+func (t *Thread) next() {
+	if len(t.queue) == 0 {
+		t.running = false
+		t.cpu.runnable--
+		return
+	}
+	item := t.queue[0]
+	t.queue = t.queue[1:]
+	// Time-sharing: with R runnable threads on C cores, each op takes
+	// R/C times longer once R > C.
+	eff := item.cost
+	if r := t.cpu.runnable; r > t.cpu.cfg.Cores {
+		eff = sim.Time(int64(eff) * int64(r) / int64(t.cpu.cfg.Cores))
+	}
+	t.cpu.busy += item.cost
+	t.cpu.eng.After(eff, func() {
+		item.fn()
+		t.next()
+	})
+}

@@ -1,0 +1,96 @@
+package hostmodel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestThreadSerialExecution(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu, err := New(eng, "h", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := cpu.NewThread()
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		th.Do(10*sim.Microsecond, func() { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	want := []sim.Time{10 * sim.Microsecond, 20 * sim.Microsecond, 30 * sim.Microsecond}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("serial times %v, want %v", times, want)
+		}
+	}
+}
+
+func TestThreadsParallelUpToCores(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu, _ := New(eng, "h", Config{Cores: 4, DRAMBytesPerSec: 1e9})
+	done := 0
+	for i := 0; i < 4; i++ {
+		cpu.NewThread().Do(100*sim.Microsecond, func() { done++ })
+	}
+	eng.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	if eng.Now() != 100*sim.Microsecond {
+		t.Fatalf("4 threads on 4 cores took %v, want 100us", eng.Now())
+	}
+}
+
+func TestOversubscriptionStretches(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu, _ := New(eng, "h", Config{Cores: 2, DRAMBytesPerSec: 1e9})
+	done := 0
+	for i := 0; i < 4; i++ {
+		cpu.NewThread().Do(100*sim.Microsecond, func() { done++ })
+	}
+	eng.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	// 4 runnable on 2 cores: each op stretches 2x.
+	if eng.Now() != 200*sim.Microsecond {
+		t.Fatalf("oversubscribed run took %v, want 200us", eng.Now())
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu, _ := New(eng, "h", Config{Cores: 10, DRAMBytesPerSec: 1e9})
+	// One thread busy 50us of a 100us window on 10 cores = 5%.
+	th := cpu.NewThread()
+	th.Do(50*sim.Microsecond, func() {})
+	eng.Run()
+	eng.RunUntil(100 * sim.Microsecond)
+	u := cpu.Utilization()
+	if u < 0.049 || u > 0.051 {
+		t.Fatalf("utilization = %f, want 0.05", u)
+	}
+}
+
+func TestDRAMBandwidthShared(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu, _ := New(eng, "h", Config{Cores: 4, DRAMBytesPerSec: 1_000_000_000})
+	var finished []sim.Time
+	for i := 0; i < 4; i++ {
+		cpu.ReadDRAM(1_000_000, func() { finished = append(finished, eng.Now()) })
+	}
+	eng.Run()
+	// 4 MB total at 1 GB/s = 4 ms for the last one.
+	last := finished[len(finished)-1]
+	if last < 4*sim.Millisecond {
+		t.Fatalf("DRAM not bandwidth-limited: last finish %v", last)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := New(eng, "h", Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Package isp is the in-store processor framework (paper §3, §4): the
+// hardware-software codesign surface on which user-defined processing
+// engines are built. An engine is given the node's four services —
+// flash interface, network interface, host interface, and DRAM buffer
+// (Figure 2) — via core.Node, and is driven by requests from host
+// software.
+//
+// Because multiple application instances compete for a finite number
+// of hardware acceleration units, the package also provides the
+// FIFO request scheduler the paper describes in §4.
+package isp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Engine is a user-defined in-store processing engine. Engines are
+// instantiated per node (like bitstreams loaded into that node's
+// FPGA fabric) and serve requests submitted through a Scheduler.
+type Engine interface {
+	// Name identifies the engine type (for diagnostics).
+	Name() string
+	// Attach binds the engine to a node's services. Called once.
+	Attach(node *core.Node) error
+}
+
+// Scheduler assigns hardware acceleration units to competing user
+// applications with a simple FIFO policy (paper §4).
+type Scheduler struct {
+	name  string
+	units int
+	busy  int
+	queue []func(done func())
+
+	// stats
+	Grants int64
+	Waits  int64
+}
+
+// NewScheduler creates a scheduler over `units` identical acceleration
+// units.
+func NewScheduler(name string, units int) (*Scheduler, error) {
+	if units <= 0 {
+		return nil, fmt.Errorf("isp: scheduler %q needs at least one unit", name)
+	}
+	return &Scheduler{name: name, units: units}, nil
+}
+
+// Units returns the unit count.
+func (s *Scheduler) Units() int { return s.units }
+
+// Busy returns how many units are currently assigned.
+func (s *Scheduler) Busy() int { return s.busy }
+
+// Queued returns how many requests are waiting.
+func (s *Scheduler) Queued() int { return len(s.queue) }
+
+// Submit requests an acceleration unit. fn runs when one is assigned
+// and must call done() to release it; queued requests are served FIFO.
+func (s *Scheduler) Submit(fn func(done func())) {
+	if s.busy < s.units {
+		s.busy++
+		s.Grants++
+		fn(s.release)
+		return
+	}
+	s.Waits++
+	s.queue = append(s.queue, fn)
+}
+
+func (s *Scheduler) release() {
+	if len(s.queue) > 0 {
+		fn := s.queue[0]
+		s.queue = s.queue[1:]
+		s.Grants++
+		fn(s.release)
+		return
+	}
+	s.busy--
+	if s.busy < 0 {
+		panic(fmt.Sprintf("isp: scheduler %q released more units than granted", s.name))
+	}
+}

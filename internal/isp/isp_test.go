@@ -1,0 +1,124 @@
+package isp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerGrantsUpToUnits(t *testing.T) {
+	s, err := NewScheduler("units", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var running []func()
+	for i := 0; i < 5; i++ {
+		s.Submit(func(done func()) { running = append(running, done) })
+	}
+	if len(running) != 2 {
+		t.Fatalf("granted %d, want 2 (unit count)", len(running))
+	}
+	if s.Busy() != 2 || s.Queued() != 3 {
+		t.Fatalf("busy=%d queued=%d", s.Busy(), s.Queued())
+	}
+}
+
+func TestSchedulerFIFOOrder(t *testing.T) {
+	s, _ := NewScheduler("fifo", 1)
+	var order []int
+	var release func()
+	s.Submit(func(done func()) { release = done })
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Submit(func(done func()) {
+			order = append(order, i)
+			done()
+		})
+	}
+	release() // queued requests drain in order, each releasing immediately
+	want := []int{0, 1, 2, 3}
+	if len(order) != 4 {
+		t.Fatalf("drained %d of 4", len(order))
+	}
+	for i, v := range order {
+		if v != want[i] {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	if s.Busy() != 0 {
+		t.Fatalf("busy=%d after drain", s.Busy())
+	}
+}
+
+func TestSchedulerStats(t *testing.T) {
+	s, _ := NewScheduler("stats", 1)
+	var rel func()
+	s.Submit(func(done func()) { rel = done })
+	s.Submit(func(done func()) { done() })
+	if s.Grants != 1 || s.Waits != 1 {
+		t.Fatalf("grants=%d waits=%d", s.Grants, s.Waits)
+	}
+	rel()
+	if s.Grants != 2 {
+		t.Fatalf("grants=%d after drain", s.Grants)
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler("bad", 0); err == nil {
+		t.Fatal("zero units accepted")
+	}
+}
+
+func TestSchedulerOverReleasePanics(t *testing.T) {
+	s, _ := NewScheduler("p", 1)
+	var rel func()
+	s.Submit(func(done func()) { rel = done })
+	rel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	rel()
+}
+
+// Property: for any submit/complete interleaving, busy never exceeds
+// units and all submitted work eventually runs.
+func TestSchedulerConservationProperty(t *testing.T) {
+	prop := func(ops []bool, unitsRaw uint8) bool {
+		units := int(unitsRaw%4) + 1
+		s, err := NewScheduler("q", units)
+		if err != nil {
+			return false
+		}
+		var releases []func()
+		ran := 0
+		submitted := 0
+		for _, op := range ops {
+			if op {
+				submitted++
+				s.Submit(func(done func()) {
+					ran++
+					releases = append(releases, done)
+				})
+			} else if len(releases) > 0 {
+				r := releases[0]
+				releases = releases[1:]
+				r()
+			}
+			if s.Busy() > units {
+				return false
+			}
+		}
+		// Drain everything.
+		for len(releases) > 0 {
+			r := releases[0]
+			releases = releases[1:]
+			r()
+		}
+		return ran == submitted && s.Busy() == 0 && s.Queued() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package report produces operational snapshots of a running BlueDBM
+// cluster: flash activity, ECC health, link and PCIe utilization per
+// node. It is the observability layer an appliance operator would
+// watch, and what cmd/bluedbm-sim prints.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// NodeStats is one node's counters at snapshot time.
+type NodeStats struct {
+	Node          int
+	FlashReads    int64
+	FlashPrograms int64
+	FlashErases   int64
+	CorrectedBits int64
+	Uncorrectable int64
+	InjectedFlips int64
+	AvgBusUtil    float64
+	PCIeUtil      float64
+	PCIeBytes     int64
+	CPUUtil       float64
+}
+
+// ClusterStats is a whole-appliance snapshot.
+type ClusterStats struct {
+	SimTime      string
+	Nodes        []NodeStats
+	NetDelivered int64
+	NetBytes     int64
+	LinkUtil     []float64
+}
+
+// Snapshot gathers counters from every component of the cluster.
+func Snapshot(c *core.Cluster) ClusterStats {
+	out := ClusterStats{
+		SimTime:      c.Eng.Now().String(),
+		NetDelivered: c.Net.Delivered.Value(),
+		NetBytes:     c.Net.BytesMoved.Value(),
+		LinkUtil:     c.Net.LinkUtilization(),
+	}
+	for i := 0; i < c.Nodes(); i++ {
+		node := c.Node(i)
+		ns := NodeStats{Node: i}
+		busCount := 0
+		for card := 0; card < c.Params.CardsPerNode; card++ {
+			cd := node.Card(card)
+			ctl := node.Controller(card)
+			ns.FlashReads += cd.Reads.Value()
+			ns.FlashPrograms += cd.Programs.Value()
+			ns.FlashErases += cd.Erases.Value()
+			ns.InjectedFlips += cd.InjectedFlips.Value()
+			ns.CorrectedBits += ctl.CorrectedBits.Value()
+			ns.Uncorrectable += ctl.Uncorrectable.Value()
+			for b := 0; b < c.Params.Geometry.Buses; b++ {
+				ns.AvgBusUtil += cd.BusUtilization(b)
+				busCount++
+			}
+		}
+		if busCount > 0 {
+			ns.AvgBusUtil /= float64(busCount)
+		}
+		ns.PCIeUtil = node.Host.ToHostUtilization()
+		ns.PCIeBytes = node.Host.ToHostBytes()
+		ns.CPUUtil = node.CPU.Utilization()
+		out.Nodes = append(out.Nodes, ns)
+	}
+	return out
+}
+
+// Totals aggregates across nodes.
+func (s ClusterStats) Totals() NodeStats {
+	var t NodeStats
+	t.Node = -1
+	for _, n := range s.Nodes {
+		t.FlashReads += n.FlashReads
+		t.FlashPrograms += n.FlashPrograms
+		t.FlashErases += n.FlashErases
+		t.CorrectedBits += n.CorrectedBits
+		t.Uncorrectable += n.Uncorrectable
+		t.InjectedFlips += n.InjectedFlips
+		t.PCIeBytes += n.PCIeBytes
+	}
+	return t
+}
+
+// Format renders the snapshot as an operator dashboard.
+func (s ClusterStats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster snapshot @ %s\n", s.SimTime)
+	fmt.Fprintf(&b, "%-5s %10s %10s %8s %10s %8s %8s %8s\n",
+		"node", "reads", "programs", "erases", "ecc-fix", "bus%", "pcie%", "cpu%")
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&b, "%-5d %10d %10d %8d %10d %7.1f%% %7.1f%% %7.1f%%\n",
+			n.Node, n.FlashReads, n.FlashPrograms, n.FlashErases, n.CorrectedBits,
+			n.AvgBusUtil*100, n.PCIeUtil*100, n.CPUUtil*100)
+	}
+	t := s.Totals()
+	fmt.Fprintf(&b, "total %10d %10d %8d %10d   (uncorrectable: %d)\n",
+		t.FlashReads, t.FlashPrograms, t.FlashErases, t.CorrectedBits, t.Uncorrectable)
+	fmt.Fprintf(&b, "network: %d messages, %d payload bytes, %d link directions\n",
+		s.NetDelivered, s.NetBytes, len(s.LinkUtil))
+	return b.String()
+}

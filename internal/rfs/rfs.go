@@ -1,0 +1,531 @@
+// Package rfs is the flash-aware file system of the BlueDBM software
+// stack (paper §4), modelled on RFS: instead of stacking a disk file
+// system on an FTL's fake block device, the file system performs the
+// FTL's functions itself — logical-to-physical mapping, log-structured
+// allocation, and garbage collection — achieving better cleaning
+// efficiency at far lower memory cost.
+//
+// Its defining feature for BlueDBM is the physical-address query
+// (Figure 8, step 1): applications ask for the physical locations of a
+// file's pages and stream them to in-store processors, which then read
+// flash directly, bypassing the host entirely.
+package rfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/flashserver"
+	"repro/internal/nand"
+)
+
+// File system errors.
+var (
+	ErrExists    = errors.New("rfs: file already exists")
+	ErrNotFound  = errors.New("rfs: file not found")
+	ErrDataSize  = errors.New("rfs: data must be exactly one page")
+	ErrNoSpace   = errors.New("rfs: file system full")
+	ErrBadOffset = errors.New("rfs: page offset out of range")
+)
+
+// Config tunes the file system.
+type Config struct {
+	// CleanLowWater starts segment cleaning when the free-segment pool
+	// drops this low.
+	CleanLowWater int
+}
+
+// DefaultConfig returns sensible defaults.
+func DefaultConfig() Config {
+	return Config{CleanLowWater: 2}
+}
+
+type fileRef struct {
+	ino  int
+	page int
+}
+
+type inode struct {
+	name   string
+	handle flashserver.FileHandle
+	pages  []int // page index -> ppn, -1 for holes
+	live   bool
+}
+
+type segInfo struct {
+	valid    int
+	written  int
+	bad      bool
+	isActive bool
+}
+
+// FS is one node's flash file system over one card.
+type FS struct {
+	iface *flashserver.Iface
+	geo   nand.Geometry
+	cfg   Config
+
+	inodes   []*inode
+	byName   map[string]int
+	backrefs map[int]fileRef // ppn -> owner
+
+	segs []segInfo
+	// Allocation stripes across chips (one log frontier per chip) so
+	// file data spreads over every bus and chip — "exposing all degrees
+	// of parallelism of the device" (paper §3.1.1).
+	freePool [][]int // per chip
+	active   []int   // per chip, -1 = none
+	cursor   int     // round-robin chip cursor
+
+	cleaning   bool
+	pendingOps []func()
+
+	// stats
+	PagesWritten int64
+	PagesRead    int64
+	CleanMoves   int64
+	SegsCleaned  int64
+}
+
+// New builds a file system on iface with the card geometry.
+func New(iface *flashserver.Iface, geo nand.Geometry, cfg Config) (*FS, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CleanLowWater < 1 {
+		cfg.CleanLowWater = 1
+	}
+	chips := geo.Buses * geo.ChipsPerBus
+	fs := &FS{
+		iface:    iface,
+		geo:      geo,
+		cfg:      cfg,
+		byName:   make(map[string]int),
+		backrefs: make(map[int]fileRef),
+		segs:     make([]segInfo, chips*geo.BlocksPerChip),
+		freePool: make([][]int, chips),
+		active:   make([]int, chips),
+	}
+	for ch := 0; ch < chips; ch++ {
+		fs.active[ch] = -1
+		for b := 0; b < geo.BlocksPerChip; b++ {
+			fs.freePool[ch] = append(fs.freePool[ch], ch*geo.BlocksPerChip+b)
+		}
+	}
+	return fs, nil
+}
+
+// chipOf returns the chip index owning a segment.
+func (fs *FS) chipOf(seg int) int { return seg / fs.geo.BlocksPerChip }
+
+// totalFree counts free segments across all chips.
+func (fs *FS) totalFree() int {
+	n := 0
+	for _, pool := range fs.freePool {
+		n += len(pool)
+	}
+	return n
+}
+
+// PageSize returns the file system's IO granularity.
+func (fs *FS) PageSize() int { return fs.geo.PageSize }
+
+// addrOf converts a linear ppn to a card address.
+func (fs *FS) addrOf(ppn int) nand.Addr {
+	p := ppn % fs.geo.PagesPerBlock
+	b := ppn / fs.geo.PagesPerBlock
+	blk := b % fs.geo.BlocksPerChip
+	b /= fs.geo.BlocksPerChip
+	chip := b % fs.geo.ChipsPerBus
+	bus := b / fs.geo.ChipsPerBus
+	return nand.Addr{Bus: bus, Chip: chip, Block: blk, Page: p}
+}
+
+func (fs *FS) segOf(ppn int) int { return ppn / fs.geo.PagesPerBlock }
+
+// File is an open file.
+type File struct {
+	fs  *FS
+	ino int
+}
+
+// Create makes a new empty file.
+func (fs *FS) Create(name string) (*File, error) {
+	if _, dup := fs.byName[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	ino := len(fs.inodes)
+	fs.inodes = append(fs.inodes, &inode{
+		name:   name,
+		handle: flashserver.FileHandle(ino + 1),
+		live:   true,
+	})
+	fs.byName[name] = ino
+	return &File{fs: fs, ino: ino}, nil
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	ino, ok := fs.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return &File{fs: fs, ino: ino}, nil
+}
+
+// Remove deletes a file, invalidating its pages for the cleaner.
+func (fs *FS) Remove(name string) error {
+	ino, ok := fs.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	nd := fs.inodes[ino]
+	for _, ppn := range nd.pages {
+		if ppn >= 0 {
+			fs.invalidate(ppn)
+		}
+	}
+	nd.pages = nil
+	nd.live = false
+	delete(fs.byName, name)
+	return nil
+}
+
+// List returns all file names, sorted.
+func (fs *FS) List() []string {
+	var out []string
+	for name := range fs.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FreeSegments returns the free pool size across all chips.
+func (fs *FS) FreeSegments() int { return fs.totalFree() }
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.fs.inodes[f.ino].name }
+
+// Handle returns the file's stable handle for ATU export.
+func (f *File) Handle() flashserver.FileHandle { return f.fs.inodes[f.ino].handle }
+
+// Pages returns the file's length in pages.
+func (f *File) Pages() int { return len(f.fs.inodes[f.ino].pages) }
+
+// PhysicalAddrs returns the physical flash location of every page —
+// the query applications use to drive in-store processors directly
+// (paper Figure 8, step 1).
+func (f *File) PhysicalAddrs() ([]nand.Addr, error) {
+	nd := f.fs.inodes[f.ino]
+	out := make([]nand.Addr, 0, len(nd.pages))
+	for i, ppn := range nd.pages {
+		if ppn < 0 {
+			return nil, fmt.Errorf("rfs: file %q has a hole at page %d", nd.name, i)
+		}
+		out = append(out, f.fs.addrOf(ppn))
+	}
+	return out, nil
+}
+
+// ExportATU loads the file's physical layout into a Flash Server ATU
+// so in-store processors can address it by (handle, offset).
+func (f *File) ExportATU(atu *flashserver.ATU) error {
+	addrs, err := f.PhysicalAddrs()
+	if err != nil {
+		return err
+	}
+	atu.Load(f.Handle(), addrs)
+	return nil
+}
+
+// AppendPage adds one page to the end of the file.
+func (f *File) AppendPage(data []byte, cb func(err error)) {
+	nd := f.fs.inodes[f.ino]
+	idx := len(nd.pages)
+	nd.pages = append(nd.pages, -1)
+	f.writePage(idx, data, cb)
+}
+
+// WritePage overwrites page idx (which must exist or be the append
+// position).
+func (f *File) WritePage(idx int, data []byte, cb func(err error)) {
+	nd := f.fs.inodes[f.ino]
+	if idx < 0 || idx > len(nd.pages) {
+		cb(fmt.Errorf("%w: %d of %d", ErrBadOffset, idx, len(nd.pages)))
+		return
+	}
+	if idx == len(nd.pages) {
+		f.AppendPage(data, cb)
+		return
+	}
+	f.writePage(idx, data, cb)
+}
+
+func (f *File) writePage(idx int, data []byte, cb func(err error)) {
+	if len(data) != f.fs.geo.PageSize {
+		cb(fmt.Errorf("%w: got %d want %d", ErrDataSize, len(data), f.fs.geo.PageSize))
+		return
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	f.fs.enqueue(func() { f.fs.logWrite(f.ino, idx, buf, cb) })
+}
+
+// ReadPage fetches page idx.
+func (f *File) ReadPage(idx int, cb func(data []byte, err error)) {
+	nd := f.fs.inodes[f.ino]
+	if idx < 0 || idx >= len(nd.pages) || nd.pages[idx] < 0 {
+		cb(nil, fmt.Errorf("%w: %d of %d", ErrBadOffset, idx, len(nd.pages)))
+		return
+	}
+	f.fs.PagesRead++
+	f.fs.iface.ReadPhysical(f.fs.addrOf(nd.pages[idx]), cb)
+}
+
+// enqueue defers ops while the cleaner runs.
+func (fs *FS) enqueue(op func()) {
+	if fs.cleaning {
+		fs.pendingOps = append(fs.pendingOps, op)
+		return
+	}
+	op()
+}
+
+// logWrite appends a page to the log and maps it to (ino, idx).
+func (fs *FS) logWrite(ino, idx int, data []byte, cb func(err error)) {
+	fs.allocAndProgram(data, func(ppn int, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		nd := fs.inodes[ino]
+		if !nd.live {
+			// File removed while the write was in flight: the new page
+			// is immediately garbage.
+			fs.segs[fs.segOf(ppn)].valid++
+			fs.backrefs[ppn] = fileRef{ino: ino, page: idx}
+			fs.invalidate(ppn)
+			cb(nil)
+			return
+		}
+		if old := nd.pages[idx]; old >= 0 {
+			fs.invalidate(old)
+		}
+		nd.pages[idx] = ppn
+		fs.segs[fs.segOf(ppn)].valid++
+		fs.backrefs[ppn] = fileRef{ino: ino, page: idx}
+		fs.PagesWritten++
+		cb(nil)
+	})
+}
+
+func (fs *FS) invalidate(ppn int) {
+	if _, ok := fs.backrefs[ppn]; ok {
+		fs.segs[fs.segOf(ppn)].valid--
+		delete(fs.backrefs, ppn)
+	}
+}
+
+// allocAndProgram finds the next log position and programs it,
+// retrying around bad blocks and starting the cleaner when space runs
+// low.
+func (fs *FS) allocAndProgram(data []byte, cb func(ppn int, err error)) {
+	ppn, err := fs.allocPage(func() { fs.allocAndProgram(data, cb) })
+	if err != nil {
+		cb(-1, err)
+		return
+	}
+	if ppn < 0 {
+		return // cleaner started; op requeued
+	}
+	fs.iface.WritePhysical(fs.addrOf(ppn), data, func(err error) {
+		if err == nil {
+			cb(ppn, nil)
+			return
+		}
+		if errors.Is(err, nand.ErrBadBlock) {
+			seg := fs.segOf(ppn)
+			fs.segs[seg].bad = true
+			if ch := fs.chipOf(seg); fs.active[ch] == seg {
+				fs.active[ch] = -1
+			}
+			fs.allocAndProgram(data, cb)
+			return
+		}
+		cb(-1, err)
+	})
+}
+
+// allocPage returns the next frontier ppn — rotating across chip
+// frontiers for parallelism — or -1 after starting the cleaner (the
+// retry closure is requeued behind it).
+func (fs *FS) allocPage(retry func()) (int, error) {
+	if fs.totalFree() <= fs.cfg.CleanLowWater && !fs.cleaning && fs.victim() >= 0 {
+		if retry != nil {
+			fs.pendingOps = append(fs.pendingOps, retry)
+		}
+		fs.startClean()
+		return -1, nil
+	}
+	return fs.allocRoundRobin()
+}
+
+// allocRoundRobin takes the next page from the next chip that has
+// room, never triggering the cleaner.
+func (fs *FS) allocRoundRobin() (int, error) {
+	chips := len(fs.freePool)
+	for try := 0; try < chips; try++ {
+		ch := fs.cursor % chips
+		fs.cursor++
+		ppn, ok := fs.allocOnChip(ch)
+		if ok {
+			return ppn, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// allocOnChip advances one chip's frontier, opening a fresh segment
+// from the chip's pool when needed.
+func (fs *FS) allocOnChip(ch int) (int, bool) {
+	for {
+		if fs.active[ch] >= 0 {
+			s := &fs.segs[fs.active[ch]]
+			if s.bad {
+				fs.active[ch] = -1
+				continue
+			}
+			if s.written < fs.geo.PagesPerBlock {
+				ppn := fs.active[ch]*fs.geo.PagesPerBlock + s.written
+				s.written++
+				return ppn, true
+			}
+			s.isActive = false
+			fs.active[ch] = -1
+		}
+		if len(fs.freePool[ch]) == 0 {
+			return 0, false
+		}
+		seg := fs.freePool[ch][0]
+		fs.freePool[ch] = fs.freePool[ch][1:]
+		fs.active[ch] = seg
+		s := &fs.segs[seg]
+		s.isActive = true
+		s.written = 0
+		s.valid = 0
+	}
+}
+
+// victim picks the sealed segment with the fewest valid pages, or -1.
+func (fs *FS) victim() int {
+	best := -1
+	for s := range fs.segs {
+		si := &fs.segs[s]
+		if si.bad || si.isActive || si.written < fs.geo.PagesPerBlock {
+			continue
+		}
+		if si.valid == fs.geo.PagesPerBlock {
+			continue
+		}
+		if best < 0 || si.valid < fs.segs[best].valid {
+			best = s
+		}
+	}
+	return best
+}
+
+func (fs *FS) startClean() {
+	v := fs.victim()
+	if v < 0 {
+		fs.finishClean()
+		return
+	}
+	fs.cleaning = true
+	fs.moveNext(v, 0)
+}
+
+func (fs *FS) moveNext(victim, page int) {
+	if page >= fs.geo.PagesPerBlock {
+		fs.eraseSeg(victim)
+		return
+	}
+	ppn := victim*fs.geo.PagesPerBlock + page
+	ref, ok := fs.backrefs[ppn]
+	if !ok {
+		fs.moveNext(victim, page+1)
+		return
+	}
+	fs.iface.ReadPhysical(fs.addrOf(ppn), func(data []byte, err error) {
+		if err != nil {
+			fs.invalidate(ppn)
+			if nd := fs.inodes[ref.ino]; nd.live && ref.page < len(nd.pages) {
+				nd.pages[ref.page] = -1
+			}
+			fs.moveNext(victim, page+1)
+			return
+		}
+		dst, aerr := fs.cleanAlloc()
+		if aerr != nil {
+			fs.finishClean()
+			return
+		}
+		fs.iface.WritePhysical(fs.addrOf(dst), data, func(perr error) {
+			if perr != nil {
+				fs.finishClean()
+				return
+			}
+			fs.CleanMoves++
+			fs.invalidate(ppn)
+			nd := fs.inodes[ref.ino]
+			if nd.live && ref.page < len(nd.pages) {
+				nd.pages[ref.page] = dst
+				fs.segs[fs.segOf(dst)].valid++
+				fs.backrefs[dst] = ref
+			}
+			fs.moveNext(victim, page+1)
+		})
+	})
+}
+
+// cleanAlloc allocates without recursing into cleaning.
+func (fs *FS) cleanAlloc() (int, error) {
+	return fs.allocRoundRobin()
+}
+
+func (fs *FS) eraseSeg(victim int) {
+	a := fs.addrOf(victim * fs.geo.PagesPerBlock)
+	a.Page = 0
+	fs.iface.Erase(a, func(err error) {
+		s := &fs.segs[victim]
+		if err != nil {
+			s.bad = true
+		} else {
+			s.valid = 0
+			s.written = 0
+			fs.SegsCleaned++
+			ch := fs.chipOf(victim)
+			fs.freePool[ch] = append(fs.freePool[ch], victim)
+		}
+		fs.finishClean()
+	})
+}
+
+func (fs *FS) finishClean() {
+	fs.cleaning = false
+	ops := fs.pendingOps
+	fs.pendingOps = nil
+	for _, op := range ops {
+		if fs.cleaning {
+			fs.pendingOps = append(fs.pendingOps, op)
+			continue
+		}
+		op()
+	}
+}
+
+// LiveMappings returns the number of page-mapping entries the file
+// system currently holds — only live data is mapped, which is the
+// memory-footprint half of the RFS argument (paper §4).
+func (fs *FS) LiveMappings() int { return len(fs.backrefs) }

@@ -1,0 +1,96 @@
+package sim
+
+import "fmt"
+
+// Pipe models a serialized transfer resource — a flash bus, a serial
+// network link, or a DMA channel — with a fixed bandwidth and a fixed
+// propagation latency. Transfers queue FIFO: a transfer occupies the
+// pipe for size/bandwidth, and its payload is delivered latency after
+// the occupancy ends (store-and-forward).
+type Pipe struct {
+	eng         *Engine
+	name        string
+	bytesPerSec int64
+	latency     Time
+
+	busyUntil   Time
+	busyTotal   Time // accumulated occupancy, for utilization stats
+	transferred int64
+	transfers   int64
+}
+
+// NewPipe constructs a pipe. bytesPerSec must be positive; latency may
+// be zero.
+func NewPipe(eng *Engine, name string, bytesPerSec int64, latency Time) *Pipe {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("sim: pipe %q: non-positive bandwidth %d", name, bytesPerSec))
+	}
+	if latency < 0 {
+		panic(fmt.Sprintf("sim: pipe %q: negative latency %v", name, latency))
+	}
+	return &Pipe{eng: eng, name: name, bytesPerSec: bytesPerSec, latency: latency}
+}
+
+// Name returns the pipe's diagnostic name.
+func (p *Pipe) Name() string { return p.name }
+
+// Latency returns the propagation latency.
+func (p *Pipe) Latency() Time { return p.latency }
+
+// BytesPerSec returns the configured bandwidth.
+func (p *Pipe) BytesPerSec() int64 { return p.bytesPerSec }
+
+// serialization returns the wire occupancy of a transfer of n bytes.
+func (p *Pipe) serialization(n int) Time {
+	return Time(int64(n) * int64(Second) / p.bytesPerSec)
+}
+
+// Transfer enqueues a transfer of size bytes and schedules done at the
+// delivery time. It returns the delivery time.
+func (p *Pipe) Transfer(size int, done func()) Time {
+	if size < 0 {
+		panic(fmt.Sprintf("sim: pipe %q: negative transfer size %d", p.name, size))
+	}
+	start := p.eng.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	ser := p.serialization(size)
+	p.busyUntil = start + ser
+	p.busyTotal += ser
+	p.transferred += int64(size)
+	p.transfers++
+	delivery := p.busyUntil + p.latency
+	if done != nil {
+		p.eng.At(delivery, done)
+	}
+	return delivery
+}
+
+// NextFree returns the earliest time a new transfer could begin.
+func (p *Pipe) NextFree() Time {
+	if p.busyUntil > p.eng.Now() {
+		return p.busyUntil
+	}
+	return p.eng.Now()
+}
+
+// Transferred returns the total bytes accepted so far.
+func (p *Pipe) Transferred() int64 { return p.transferred }
+
+// Transfers returns the number of transfers accepted so far.
+func (p *Pipe) Transfers() int64 { return p.transfers }
+
+// Utilization returns the fraction of time the pipe has been occupied,
+// measured against the engine's current clock. Returns 0 at time zero.
+func (p *Pipe) Utilization() float64 {
+	if p.eng.Now() == 0 {
+		return 0
+	}
+	busy := p.busyTotal
+	// Occupancy reserved beyond "now" has not elapsed yet.
+	if p.busyUntil > p.eng.Now() {
+		busy -= p.busyUntil - p.eng.Now()
+	}
+	return float64(busy) / float64(p.eng.Now())
+}

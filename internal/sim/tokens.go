@@ -1,0 +1,93 @@
+package sim
+
+import "fmt"
+
+// TokenPool models credit-based flow control: a sender must acquire a
+// token before injecting a unit of traffic, and the receiver returns
+// the token once it drains the unit. Waiters are served FIFO, which is
+// what gives BlueDBM's links their per-link ordering property.
+type TokenPool struct {
+	name    string
+	avail   int
+	cap     int
+	waiters []waiter // FIFO
+
+	// stats
+	acquired int64
+	blocked  int64
+}
+
+type waiter struct {
+	n  int
+	fn func()
+}
+
+// NewTokenPool creates a pool holding n tokens.
+func NewTokenPool(name string, n int) *TokenPool {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: token pool %q: negative capacity %d", name, n))
+	}
+	return &TokenPool{name: name, avail: n, cap: n}
+}
+
+// Available returns the number of free tokens.
+func (t *TokenPool) Available() int { return t.avail }
+
+// Cap returns the pool's total capacity.
+func (t *TokenPool) Cap() int { return t.cap }
+
+// Waiting returns the number of queued acquirers.
+func (t *TokenPool) Waiting() int { return len(t.waiters) }
+
+// Blocked returns how many Acquire calls had to wait.
+func (t *TokenPool) Blocked() int64 { return t.blocked }
+
+// Acquire requests n tokens and invokes fn once they are granted.
+// Grants are strictly FIFO: a small request queued behind a large one
+// waits (no overtaking), which models in-order link-level credit flow.
+// fn runs synchronously if tokens are available and nobody is queued.
+func (t *TokenPool) Acquire(n int, fn func()) {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: token pool %q: negative acquire %d", t.name, n))
+	}
+	if n > t.cap {
+		panic(fmt.Sprintf("sim: token pool %q: acquire %d exceeds capacity %d", t.name, n, t.cap))
+	}
+	if len(t.waiters) == 0 && t.avail >= n {
+		t.avail -= n
+		t.acquired++
+		fn()
+		return
+	}
+	t.blocked++
+	t.waiters = append(t.waiters, waiter{n: n, fn: fn})
+}
+
+// TryAcquire takes n tokens if immediately available (and no waiter is
+// queued ahead) and reports whether it succeeded.
+func (t *TokenPool) TryAcquire(n int) bool {
+	if len(t.waiters) == 0 && t.avail >= n {
+		t.avail -= n
+		t.acquired++
+		return true
+	}
+	return false
+}
+
+// Release returns n tokens and serves queued waiters in order.
+func (t *TokenPool) Release(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: token pool %q: negative release %d", t.name, n))
+	}
+	t.avail += n
+	if t.avail > t.cap {
+		panic(fmt.Sprintf("sim: token pool %q: released above capacity (%d > %d)", t.name, t.avail, t.cap))
+	}
+	for len(t.waiters) > 0 && t.avail >= t.waiters[0].n {
+		w := t.waiters[0]
+		t.waiters = t.waiters[1:]
+		t.avail -= w.n
+		t.acquired++
+		w.fn()
+	}
+}
