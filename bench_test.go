@@ -195,6 +195,31 @@ func BenchmarkFig20GraphTraversal(b *testing.B) {
 	b.ReportMetric(ratio, "ISPF-over-HRHF-x")
 }
 
+// BenchmarkMultiStreamSched goes beyond the paper: 64 concurrent
+// QoS-classed streams through the internal/sched request scheduler,
+// comparing batched doorbells against one-doorbell-per-request and
+// depth-1 submission. Headline units: aggregate batched throughput,
+// realtime p99, and the batched-over-depth1 speedup.
+func BenchmarkMultiStreamSched(b *testing.B) {
+	var cmp experiments.BatchComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = experiments.MultiStreamBatchComparison(experiments.DefaultMultiStream(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var rtP99 float64
+	for _, cs := range cmp.Batched.Sched.Classes {
+		if cs.Class == "realtime" {
+			rtP99 = cs.P99Us
+		}
+	}
+	b.ReportMetric(cmp.Batched.Sched.TotalOpsPerSec/1e3, "batched-Kops/s")
+	b.ReportMetric(rtP99, "rt-p99-us")
+	b.ReportMetric(cmp.SpeedupVsDepth1, "vs-depth1-x")
+}
+
 func BenchmarkFig21StringSearch(b *testing.B) {
 	var ispMBps, speedup float64
 	for i := 0; i < b.N; i++ {

@@ -1,15 +1,19 @@
-// Command bluedbm-bench regenerates the paper's evaluation: every
+// Command bluedbm-bench regenerates the paper's evaluation — every
 // table and figure of "BlueDBM: An Appliance for Big Data Analytics"
-// (ISCA 2015), printed in the paper's layout.
+// (ISCA 2015), printed in the paper's layout — plus the multi-stream
+// scheduler benchmark that goes beyond the paper.
 //
 // Usage:
 //
 //	bluedbm-bench                  # run everything
 //	bluedbm-bench -run fig13,fig20 # run a subset
+//	bluedbm-bench -run sched -json sched.json -short
+//	                               # scheduler smoke run, JSON metrics
 //	bluedbm-bench -list            # list experiment ids
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +29,33 @@ type runner struct {
 	run  func() (string, error)
 }
 
-func allRunners() []runner {
+// schedRunner drives the multi-stream scheduler comparison (batched
+// vs unbatched vs depth-1 submission) and optionally writes the full
+// JSON metrics — per-QoS-class p50/p99 latency and throughput for
+// every discipline — to jsonPath.
+func schedRunner(short bool, jsonPath string) func() (string, error) {
+	return func() (string, error) {
+		cmp, err := experiments.MultiStreamBatchComparison(experiments.DefaultMultiStream(short))
+		if err != nil {
+			return "", err
+		}
+		if jsonPath != "" {
+			b, err := json.MarshalIndent(cmp, "", "  ")
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+				return "", err
+			}
+		}
+		return experiments.FormatMultiStream(cmp.Batched) + "\n" +
+			experiments.FormatBatchComparison(cmp), nil
+	}
+}
+
+func allRunners(short bool, jsonPath string) []runner {
 	return []runner{
+		{"sched", "multi-stream scheduler: QoS latency and batched-submission throughput", schedRunner(short, jsonPath)},
 		{"table1", "Artix-7 flash controller resources", func() (string, error) {
 			return experiments.FormatTable1(8), nil
 		}},
@@ -105,9 +134,11 @@ func allRunners() []runner {
 func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	short := flag.Bool("short", false, "reduced request counts for smoke runs (sched)")
+	jsonPath := flag.String("json", "", "write the sched experiment's JSON metrics to this file")
 	flag.Parse()
 
-	runners := allRunners()
+	runners := allRunners(*short, *jsonPath)
 	if *list {
 		for _, r := range runners {
 			fmt.Printf("%-8s %s\n", r.id, r.desc)

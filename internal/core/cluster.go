@@ -19,8 +19,13 @@ type Cluster struct {
 	Net    *fabric.Network
 	nodes  []*Node
 
-	hops [][]int // precomputed hop distances
+	hops   [][]int // precomputed hop distances
+	router HostRouter
 }
+
+// SetHostRouter installs (or, with nil, removes) the scheduler hook
+// that admits host traffic. See HostRouter and Node.HostRead.
+func (c *Cluster) SetHostRouter(r HostRouter) { c.router = r }
 
 // NewCluster builds and wires the whole appliance.
 func NewCluster(p Params) (*Cluster, error) {
@@ -116,6 +121,7 @@ func (c *Cluster) buildNode(i int) (*Node, error) {
 		return nil, err
 	}
 	n.CPU = cpu
+	n.ioThread = cpu.NewThread()
 	n.dram = sim.NewPipe(c.Eng, fmt.Sprintf("n%d/dram", i), p.DRAMBytesPerSec, p.DRAMLatency)
 
 	n.netNode = c.Net.Node(fabric.NodeID(i))

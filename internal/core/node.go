@@ -100,6 +100,11 @@ type Node struct {
 	CPU  *hostmodel.CPU
 	dram *sim.Pipe
 
+	// ioThread is the host's serial I/O submission thread: every
+	// batched doorbell (SubmitHostBatch) is charged here, so doorbell
+	// software cost consumes CPU instead of being pure latency.
+	ioThread *hostmodel.Thread
+
 	netNode *fabric.Node
 	reqEPs  []*fabric.Endpoint
 	respEPs []*fabric.Endpoint
@@ -271,9 +276,123 @@ func (n *Node) handleFlashResp(_ fabric.NodeID, _ int, payload any) {
 
 // --- host-mediated access paths (Figure 12) --------------------------
 
+// HostReq is one host-side flash request in the batched submission
+// path: the unit the request scheduler (internal/sched) admits, queues
+// and coalesces. For writes Data carries the payload and Done's data
+// argument is nil. Done fires exactly once.
+type HostReq struct {
+	Addr  PageAddr
+	Write bool
+	Data  []byte
+	Done  func(data []byte, err error)
+}
+
+// HostRouter admits host traffic into an external request scheduler.
+// node is the index of the node whose host issued the request. A
+// non-nil error (typically the scheduler's backpressure error) means
+// the request was NOT admitted and its Done will never fire.
+type HostRouter func(node int, req HostReq) error
+
+// SubmitHostBatch issues a group of host requests paying the storage
+// stack software overhead and the RPC doorbell ONCE for the whole
+// batch: the driver rings the device with a queue of requests, which
+// is what lets a host keep thousands of flash requests in flight
+// (paper §3.3) instead of serialising on the 70 µs software path.
+// Per-request buffer flow control, DMA and completion interrupts are
+// still charged individually.
+//
+// Unlike the single-request HostRead/HostWrite paths (the unloaded
+// measurement harness of Fig. 12, where software cost is pure
+// latency), batch submission runs on the node's serial I/O submission
+// thread and occupies host CPU — so under heavy traffic the doorbell
+// rate, not the flash, is what saturates first unless batches
+// amortize it.
+//
+// issued (optional) fires when the submission thread has finished the
+// batch's software work and is free for the next doorbell; schedulers
+// use it to accumulate the next batch instead of committing early to
+// many small doorbells.
+func (n *Node) SubmitHostBatch(reqs []HostReq, issued func()) {
+	if len(reqs) == 0 {
+		return
+	}
+	h := n.Host.Config()
+	cost := h.SoftwareOverhead + sim.Time(len(reqs))*h.BatchRequestOverhead
+	n.ioThread.Do(cost, func() {
+		if issued != nil {
+			issued()
+		}
+		n.Host.RPC(func() {
+			for i := range reqs {
+				r := reqs[i]
+				if r.Write {
+					done := r.Done
+					n.issueHostWrite(r.Addr, r.Data, func(err error) { done(nil, err) })
+				} else {
+					n.issueHostRead(r.Addr, r.Done)
+				}
+			}
+		})
+	})
+}
+
+// issueHostRead is the device-side read path of a batch: flash or
+// network fetch, then DMA into a host read buffer and the completion
+// interrupt.
+func (n *Node) issueHostRead(a PageAddr, cb func(data []byte, err error)) {
+	deliver := func(data []byte, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		n.Host.AcquireReadBuffer(len(data), func(buf int) {
+			n.Host.ReleaseReadBuffer(buf)
+			cb(data, nil)
+		}, func(buf int) {
+			n.Host.DeviceWriteChunk(buf, len(data), true)
+		})
+	}
+	if a.Node == n.id {
+		n.hostIfaces[a.Card].ReadPhysical(a.Addr, deliver)
+		return
+	}
+	n.remoteReq(reqMsg{card: a.Card, addr: a.Addr}, a.Node, deliver)
+}
+
+// issueHostWrite is the device-side write path of a batch: write
+// buffer, PCIe DMA down, then flash (local) or network (remote).
+func (n *Node) issueHostWrite(a PageAddr, data []byte, done func(err error)) {
+	n.Host.AcquireWriteBuffer(func(_ int) {
+		n.Host.DeviceReadBuffer(len(data), func() {
+			fin := func(err error) {
+				n.Host.ReleaseWriteBuffer()
+				done(err)
+			}
+			if a.Node == n.id {
+				n.hostIfaces[a.Card].WritePhysical(a.Addr, data, fin)
+				return
+			}
+			n.remoteReq(reqMsg{card: a.Card, addr: a.Addr, write: true, data: data}, a.Node,
+				func(_ []byte, err error) { fin(err) })
+		})
+	})
+}
+
 // HostRead fetches a page into host memory via the selected access
 // path, filling tr (optional) with the latency decomposition.
+//
+// When a HostRouter is installed on the cluster, untraced PathHF/ISPF
+// reads are admitted through it instead of issuing directly, so all
+// production host traffic shares the scheduler's admission queues.
+// Traced calls and the special H-RH-F / H-D paths bypass the router:
+// they are the single-request measurement harness of Figures 12/14.
 func (n *Node) HostRead(a PageAddr, path AccessPath, tr *Trace, cb func(data []byte, err error)) {
+	if r := n.cluster.router; r != nil && tr == nil && (path == PathHF || path == PathISPF) {
+		if err := r(n.id, HostReq{Addr: a, Done: cb}); err != nil {
+			cb(nil, err)
+		}
+		return
+	}
 	start := n.cluster.Eng.Now()
 	h := n.Host.Config()
 	net := n.cluster.Net.Config()
@@ -351,8 +470,16 @@ func (n *Node) HostRead(a PageAddr, path AccessPath, tr *Trace, cb func(data []b
 
 // HostWrite stores a page from host memory to any flash page in the
 // cluster: write buffer, RPC, PCIe DMA down, then flash (local) or
-// network (remote).
+// network (remote). Like HostRead, it routes through an installed
+// HostRouter so the scheduler sees all production host traffic.
 func (n *Node) HostWrite(a PageAddr, data []byte, cb func(err error)) {
+	if r := n.cluster.router; r != nil {
+		if err := r(n.id, HostReq{Addr: a, Write: true, Data: data,
+			Done: func(_ []byte, err error) { cb(err) }}); err != nil {
+			cb(err)
+		}
+		return
+	}
 	n.Host.ChargeSoftware(func() {
 		n.Host.AcquireWriteBuffer(func(_ int) {
 			n.Host.RPC(func() {

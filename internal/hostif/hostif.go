@@ -47,22 +47,28 @@ type Config struct {
 	// path that never enters the storage stack (serving a cached page
 	// from DRAM, key-value style). It is what makes the H-D path fast.
 	LightSoftware sim.Time
+	// BatchRequestOverhead is the incremental software cost of each
+	// additional request in a batched doorbell (descriptor setup and
+	// marshalling), far below the fixed SoftwareOverhead a doorbell
+	// pays once. It is what makes batched submission pay off.
+	BatchRequestOverhead sim.Time
 }
 
 // DefaultConfig matches the paper's Connectal PCIe Gen 1 deployment.
 func DefaultConfig() Config {
 	return Config{
-		ReadBuffers:         128,
-		WriteBuffers:        128,
-		PageBytes:           8192,
-		ToHostBytesPerSec:   1_600_000_000,
-		FromHostBytesPerSec: 1_000_000_000,
-		PCIeLatency:         700 * sim.Nanosecond,
-		RPCLatency:          900 * sim.Nanosecond,
-		InterruptLatency:    2 * sim.Microsecond,
-		DMABurst:            512,
-		SoftwareOverhead:    70 * sim.Microsecond,
-		LightSoftware:       15 * sim.Microsecond,
+		ReadBuffers:          128,
+		WriteBuffers:         128,
+		PageBytes:            8192,
+		ToHostBytesPerSec:    1_600_000_000,
+		FromHostBytesPerSec:  1_000_000_000,
+		PCIeLatency:          700 * sim.Nanosecond,
+		RPCLatency:           900 * sim.Nanosecond,
+		InterruptLatency:     2 * sim.Microsecond,
+		DMABurst:             512,
+		SoftwareOverhead:     70 * sim.Microsecond,
+		LightSoftware:        15 * sim.Microsecond,
+		BatchRequestOverhead: 5 * sim.Microsecond,
 	}
 }
 

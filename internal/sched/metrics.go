@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"repro/internal/sim"
+)
+
+// classAgg accumulates one QoS class's metrics.
+type classAgg struct {
+	lat       *sim.Tally
+	ops       int64
+	errors    int64
+	rejected  int64
+	coalesced int64
+	bytes     int64
+}
+
+// stats is the scheduler-wide metrics state.
+type stats struct {
+	eng         *sim.Engine
+	start       sim.Time
+	classes     [NumClasses]classAgg
+	batches     int64
+	batchedReqs int64
+}
+
+func (st *stats) init(eng *sim.Engine) {
+	st.eng = eng
+	st.start = eng.Now()
+	for cl := 0; cl < NumClasses; cl++ {
+		st.classes[cl].lat = sim.NewTally(Class(cl).String())
+	}
+}
+
+func (st *stats) class(cl Class) *classAgg { return &st.classes[cl] }
+
+// ClassSnapshot is one QoS class's slice of a Snapshot. Latencies are
+// virtual microseconds; throughput is over the snapshot window.
+type ClassSnapshot struct {
+	Class     string  `json:"class"`
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	Rejected  int64   `json:"rejected"`
+	Coalesced int64   `json:"coalesced"`
+	MeanUs    float64 `json:"mean_us"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	MaxUs     float64 `json:"max_us"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	MBps      float64 `json:"mbps"`
+}
+
+// Snapshot is the scheduler's aggregate metrics view, shaped for JSON
+// emission by cmd/bluedbm-bench.
+type Snapshot struct {
+	ElapsedMs      float64         `json:"elapsed_ms"`
+	TotalOps       int64           `json:"total_ops"`
+	TotalOpsPerSec float64         `json:"total_ops_per_sec"`
+	TotalMBps      float64         `json:"total_mbps"`
+	Batches        int64           `json:"batches"`
+	AvgBatch       float64         `json:"avg_batch"`
+	Rejected       int64           `json:"rejected"`
+	Coalesced      int64           `json:"coalesced"`
+	PeakQueue      int             `json:"peak_queue"`
+	Classes        []ClassSnapshot `json:"classes"`
+}
+
+// Snapshot reports metrics accumulated since New or the last
+// ResetStats, with rates computed over elapsed virtual time.
+func (s *Scheduler) Snapshot() Snapshot {
+	elapsed := s.eng.Now() - s.stats.start
+	secs := elapsed.Seconds()
+	out := Snapshot{
+		ElapsedMs: float64(elapsed) / float64(sim.Millisecond),
+		Batches:   s.stats.batches,
+	}
+	var bytes int64
+	for cl := 0; cl < NumClasses; cl++ {
+		agg := &s.stats.classes[cl]
+		cs := ClassSnapshot{
+			Class:     Class(cl).String(),
+			Ops:       agg.ops,
+			Errors:    agg.errors,
+			Rejected:  agg.rejected,
+			Coalesced: agg.coalesced,
+			MeanUs:    agg.lat.Mean(),
+			P50Us:     agg.lat.Percentile(50),
+			P99Us:     agg.lat.Percentile(99),
+			MaxUs:     agg.lat.Max(),
+		}
+		if secs > 0 {
+			cs.OpsPerSec = float64(agg.ops) / secs
+			cs.MBps = float64(agg.bytes) / secs / 1e6
+		}
+		out.TotalOps += agg.ops
+		out.Rejected += agg.rejected
+		out.Coalesced += agg.coalesced
+		bytes += agg.bytes
+		out.Classes = append(out.Classes, cs)
+	}
+	if secs > 0 {
+		out.TotalOpsPerSec = float64(out.TotalOps) / secs
+		out.TotalMBps = float64(bytes) / secs / 1e6
+	}
+	if s.stats.batches > 0 {
+		out.AvgBatch = float64(s.stats.batchedReqs) / float64(s.stats.batches)
+	}
+	for _, nq := range s.nodes {
+		if nq.peak > out.PeakQueue {
+			out.PeakQueue = nq.peak
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes all metrics and restarts the rate window at the
+// current virtual time. Use it to exclude warmup or seeding phases.
+func (s *Scheduler) ResetStats() {
+	s.stats = stats{}
+	s.stats.init(s.eng)
+	for _, nq := range s.nodes {
+		nq.peak = nq.qlen
+	}
+}

@@ -1,0 +1,415 @@
+// Package sched is the multi-tenant request scheduler that admits
+// concurrent client streams into a BlueDBM cluster.
+//
+// BlueDBM's performance story (paper §3.3, §6.5) depends on keeping
+// thousands of flash requests in flight across the host interface,
+// the controllers and the inter-controller network. This package is
+// the seam where that concurrency is created and governed:
+//
+//   - every node has a bounded admission queue; when it is full the
+//     scheduler reports backpressure (ErrBackpressure) to the caller
+//     instead of queueing unboundedly;
+//   - each stream carries a QoS class (Realtime, Interactive, Batch);
+//     dispatch is strict-priority across classes with an aging escape
+//     hatch so saturating low-priority traffic cannot invert priority
+//     and a saturating high-priority tenant cannot starve the rest
+//     forever;
+//   - admitted requests are submitted to the device in batches via
+//     core.Node.SubmitHostBatch, paying the host storage-stack
+//     software overhead and RPC doorbell once per batch instead of
+//     once per page — the dominant throughput lever of Figure 12;
+//   - queued duplicate reads to the same page are coalesced into one
+//     flash operation whose result fans out to every waiter.
+//
+// The scheduler runs entirely in virtual time on the cluster's event
+// engine, so runs are exactly reproducible: same configuration and
+// workload seed, same per-request latencies.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Scheduler errors.
+var (
+	// ErrBackpressure reports that a node's admission queue is full.
+	// The request was not admitted; the caller should back off and
+	// retry (closed-loop clients) or drop (open-loop clients).
+	ErrBackpressure = errors.New("sched: node admission queue full")
+	// ErrClosed reports submission on a closed stream.
+	ErrClosed = errors.New("sched: stream closed")
+)
+
+// Class is a stream's QoS class. Lower values dispatch first.
+type Class uint8
+
+// The three QoS classes. Realtime is for latency-critical point
+// lookups, Interactive for ordinary user queries, Batch for scans and
+// bulk loads that only care about throughput.
+const (
+	Realtime Class = iota
+	Interactive
+	Batch
+	NumClasses = 3
+)
+
+func (c Class) String() string {
+	switch c {
+	case Realtime:
+		return "realtime"
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Config sizes the scheduler.
+type Config struct {
+	// QueueDepth bounds each node's admission queue (all classes
+	// together). Submissions beyond it fail with ErrBackpressure.
+	QueueDepth int
+	// MaxInflight caps requests outstanding at one node's device. It
+	// should not exceed the host interface's read buffer count; beyond
+	// that requests just queue inside the device.
+	MaxInflight int
+	// BatchSize is the maximum number of requests submitted per
+	// doorbell (one software + RPC charge per batch). 1 disables
+	// batching and reproduces the naive one-op-per-doorbell host path.
+	BatchSize int
+	// AgingRounds is how many consecutive dispatch rounds a non-empty
+	// class may be passed over before it is guaranteed one slot in the
+	// next batch. It is the anti-starvation bound of the strict
+	// priority policy.
+	AgingRounds int
+	// Coalesce merges queued duplicate reads to the same page into a
+	// single flash operation.
+	Coalesce bool
+}
+
+// DefaultConfig returns the production configuration: deep admission
+// queues, device-saturating inflight window, 16-request doorbells.
+func DefaultConfig() Config {
+	return Config{
+		QueueDepth:  1024,
+		MaxInflight: 128,
+		BatchSize:   16,
+		AgingRounds: 8,
+		Coalesce:    true,
+	}
+}
+
+func (c Config) validate() error {
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("sched: queue depth %d", c.QueueDepth)
+	}
+	if c.MaxInflight <= 0 {
+		return fmt.Errorf("sched: max inflight %d", c.MaxInflight)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("sched: batch size %d", c.BatchSize)
+	}
+	if c.AgingRounds <= 0 {
+		return fmt.Errorf("sched: aging rounds %d", c.AgingRounds)
+	}
+	return nil
+}
+
+// request is one admitted (or coalesced) operation. class is the
+// scheduling class and may rise via priority inheritance; statClass
+// is the submitter's class and is what metrics are recorded under.
+type request struct {
+	class     Class
+	statClass Class
+	addr      core.PageAddr
+	write     bool
+	data      []byte
+	rcb       func(data []byte, err error)
+	wcb       func(err error)
+	enq       sim.Time
+	// followers are coalesced duplicate reads riding this request's
+	// flash operation; they hold no queue slot of their own.
+	followers []*request
+}
+
+// Scheduler admits streams into one cluster.
+type Scheduler struct {
+	cluster *core.Cluster
+	eng     *sim.Engine
+	cfg     Config
+	nodes   []*nodeQueue
+	stats   stats
+}
+
+// New attaches a scheduler to a cluster. The scheduler shares the
+// cluster's event engine; it has no goroutines and is safe exactly
+// like the rest of the simulation: single-threaded, deterministic.
+func New(cluster *core.Cluster, cfg Config) (*Scheduler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{cluster: cluster, eng: cluster.Eng, cfg: cfg}
+	for i := 0; i < cluster.Nodes(); i++ {
+		s.nodes = append(s.nodes, newNodeQueue(s, cluster.Node(i)))
+	}
+	s.stats.init(cluster.Eng)
+	return s, nil
+}
+
+// Config returns the scheduler configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// AttachRouter installs this scheduler as the cluster's host router:
+// subsequent untraced Node.HostRead/HostWrite calls are admitted
+// through a per-cluster implicit stream of the given class, so legacy
+// single-request callers and scheduler streams share one admission
+// path. DetachRouter removes the hook.
+func (s *Scheduler) AttachRouter(class Class) error {
+	if class >= NumClasses {
+		return fmt.Errorf("sched: class %d out of range", class)
+	}
+	s.cluster.SetHostRouter(func(node int, req core.HostReq) error {
+		r := &request{class: class, statClass: class, addr: req.Addr, write: req.Write, enq: s.eng.Now()}
+		if req.Write {
+			// Snapshot the payload: it sits in the admission queue
+			// after the caller's HostWrite returns, and callers are
+			// free to reuse their buffer once the call returns.
+			r.data = append([]byte(nil), req.Data...)
+			done := req.Done
+			r.wcb = func(err error) { done(nil, err) }
+		} else {
+			r.rcb = req.Done
+		}
+		return s.nodes[node].admit(r)
+	})
+	return nil
+}
+
+// DetachRouter removes the cluster host-router hook.
+func (s *Scheduler) DetachRouter() {
+	s.cluster.SetHostRouter(nil)
+}
+
+// QueueLen returns the current admission-queue occupancy of a node.
+func (s *Scheduler) QueueLen(node int) int { return s.nodes[node].qlen }
+
+// Inflight returns the number of requests a node currently has
+// outstanding at its device.
+func (s *Scheduler) Inflight(node int) int { return s.nodes[node].inflight }
+
+// nodeQueue is the per-node admission and dispatch state.
+type nodeQueue struct {
+	s    *Scheduler
+	node *core.Node
+
+	q      [NumClasses][]*request
+	qlen   int
+	peak   int
+	starve [NumClasses]int
+
+	inflight int
+	kicked   bool
+	// ringing is true while a doorbell's software work occupies the
+	// node's submission thread. The thread is serial, so ringing a
+	// second doorbell early would only commit queued requests to a
+	// smaller batch; instead the queue accumulates until the thread
+	// frees — adaptive batching: single requests at light load, full
+	// batches under pressure.
+	ringing bool
+
+	// pendingReads indexes queued (not yet dispatched) reads for
+	// coalescing.
+	pendingReads map[core.PageAddr]*request
+}
+
+func newNodeQueue(s *Scheduler, node *core.Node) *nodeQueue {
+	return &nodeQueue{s: s, node: node, pendingReads: make(map[core.PageAddr]*request)}
+}
+
+// admit enqueues a request or reports backpressure. Coalesced reads
+// piggyback on an already-queued read and consume no queue slot.
+func (nq *nodeQueue) admit(r *request) error {
+	if !r.write && nq.s.cfg.Coalesce {
+		if lead, ok := nq.pendingReads[r.addr]; ok {
+			lead.followers = append(lead.followers, r)
+			nq.s.stats.class(r.statClass).coalesced++
+			// Priority inheritance: a high-priority follower must not
+			// inherit a low-priority lead's queue wait — that would be
+			// priority inversion through the coalescing map. Promote
+			// the lead into the follower's class instead.
+			if r.class < lead.class {
+				nq.promote(lead, r.class)
+			}
+			return nil
+		}
+	}
+	if nq.qlen >= nq.s.cfg.QueueDepth {
+		nq.s.stats.class(r.statClass).rejected++
+		return ErrBackpressure
+	}
+	if r.write && nq.s.cfg.Coalesce {
+		// A write to this page fences coalescing: a read admitted
+		// after it must not ride a read queued before it, which would
+		// GUARANTEE it pre-write data. Note this is all the fence
+		// provides — the scheduler does not order reads after writes
+		// to the same page in general (priority classes and the
+		// device pipeline may reorder them); tenants that need
+		// read-your-write must await the write's completion, as the
+		// workload drivers' disjoint read/log regions do by design.
+		delete(nq.pendingReads, r.addr)
+	}
+	nq.q[r.class] = append(nq.q[r.class], r)
+	nq.qlen++
+	if nq.qlen > nq.peak {
+		nq.peak = nq.qlen
+	}
+	if !r.write && nq.s.cfg.Coalesce {
+		nq.pendingReads[r.addr] = r
+	}
+	nq.kick()
+	return nil
+}
+
+// kick schedules a dispatch round if one is useful and not already
+// scheduled. Dispatch runs as a zero-delay event so that a burst of
+// submissions in the same instant forms one batch instead of many.
+func (nq *nodeQueue) kick() {
+	if nq.kicked || nq.ringing || nq.qlen == 0 || nq.inflight >= nq.s.cfg.MaxInflight {
+		return
+	}
+	nq.kicked = true
+	nq.s.eng.After(0, func() {
+		nq.kicked = false
+		nq.dispatch()
+	})
+}
+
+// dispatch forms one batch and rings one doorbell. At most one
+// doorbell occupies the submission thread at a time (see ringing);
+// while its software runs, arrivals and freed inflight slots
+// accumulate so the next doorbell carries a bigger batch.
+func (nq *nodeQueue) dispatch() {
+	if nq.ringing {
+		return
+	}
+	budget := nq.s.cfg.BatchSize
+	if room := nq.s.cfg.MaxInflight - nq.inflight; room < budget {
+		budget = room
+	}
+	if budget > nq.qlen {
+		budget = nq.qlen
+	}
+	if budget <= 0 {
+		return
+	}
+
+	var batch []*request
+	var took [NumClasses]int
+	// Aging pass: any class starved for AgingRounds consecutive
+	// rounds gets one guaranteed slot, lowest priority first so the
+	// most starved traffic is served before the escape hatch fills.
+	for cl := NumClasses - 1; cl >= 0 && len(batch) < budget; cl-- {
+		if nq.starve[cl] >= nq.s.cfg.AgingRounds && len(nq.q[cl]) > 0 {
+			batch = append(batch, nq.pop(Class(cl)))
+			took[cl]++
+		}
+	}
+	// Strict priority for the remaining slots.
+	for cl := Class(0); cl < NumClasses && len(batch) < budget; cl++ {
+		for len(nq.q[cl]) > 0 && len(batch) < budget {
+			batch = append(batch, nq.pop(cl))
+			took[cl]++
+		}
+	}
+	for cl := 0; cl < NumClasses; cl++ {
+		switch {
+		case took[cl] > 0 || len(nq.q[cl]) == 0:
+			nq.starve[cl] = 0
+		default:
+			nq.starve[cl]++
+		}
+	}
+
+	nq.inflight += len(batch)
+	nq.ringing = true
+	nq.s.stats.batches++
+	nq.s.stats.batchedReqs += int64(len(batch))
+	reqs := make([]core.HostReq, len(batch))
+	for i, r := range batch {
+		r := r
+		reqs[i] = core.HostReq{
+			Addr:  r.addr,
+			Write: r.write,
+			Data:  r.data,
+			Done:  func(data []byte, err error) { nq.complete(r, data, err) },
+		}
+	}
+	nq.node.SubmitHostBatch(reqs, func() {
+		nq.ringing = false
+		nq.kick()
+	})
+}
+
+// promote moves a queued read to a higher-priority class queue (its
+// accounting moves with it). Only reads are ever promoted, so NAND
+// write ordering is unaffected.
+func (nq *nodeQueue) promote(lead *request, to Class) {
+	q := nq.q[lead.class]
+	for i, x := range q {
+		if x == lead {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			nq.q[lead.class] = q[:len(q)-1]
+			break
+		}
+	}
+	lead.class = to
+	nq.q[to] = append(nq.q[to], lead)
+}
+
+// pop removes the FIFO head of one class queue.
+func (nq *nodeQueue) pop(cl Class) *request {
+	r := nq.q[cl][0]
+	nq.q[cl][0] = nil
+	nq.q[cl] = nq.q[cl][1:]
+	nq.qlen--
+	if !r.write && nq.s.cfg.Coalesce && nq.pendingReads[r.addr] == r {
+		delete(nq.pendingReads, r.addr)
+	}
+	return r
+}
+
+// complete finishes a dispatched request and every coalesced follower.
+func (nq *nodeQueue) complete(r *request, data []byte, err error) {
+	nq.inflight--
+	nq.s.finish(r, data, err)
+	for _, f := range r.followers {
+		nq.s.finish(f, data, err)
+	}
+	nq.kick()
+}
+
+// finish records per-class metrics and fires the caller's callback.
+func (s *Scheduler) finish(r *request, data []byte, err error) {
+	agg := s.stats.class(r.statClass)
+	agg.ops++
+	agg.lat.AddTime(s.eng.Now() - r.enq)
+	if err != nil {
+		agg.errors++
+	} else if r.write {
+		agg.bytes += int64(len(r.data))
+	} else {
+		agg.bytes += int64(len(data))
+	}
+	if r.write {
+		r.wcb(err)
+	} else {
+		r.rcb(data, err)
+	}
+}

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Stream is one client's admission handle: a named, QoS-classed
+// sequence of requests issued from one node's host. Many streams are
+// open concurrently; the scheduler multiplexes them onto the node's
+// admission queue and batches them at the device doorbell.
+type Stream struct {
+	s      *Scheduler
+	name   string
+	node   int
+	class  Class
+	closed bool
+
+	// Submitted counts operations this stream admitted successfully.
+	Submitted int64
+}
+
+// NewStream opens a stream issuing from node's host at the given QoS
+// class. The stream may address any page in the cluster; remote pages
+// ride the integrated storage network exactly like Node.HostRead.
+func (s *Scheduler) NewStream(name string, node int, class Class) (*Stream, error) {
+	if node < 0 || node >= len(s.nodes) {
+		return nil, fmt.Errorf("sched: node %d out of range [0,%d)", node, len(s.nodes))
+	}
+	if class >= NumClasses {
+		return nil, fmt.Errorf("sched: class %d out of range", class)
+	}
+	return &Stream{s: s, name: name, node: node, class: class}, nil
+}
+
+// Name returns the stream name.
+func (st *Stream) Name() string { return st.name }
+
+// Class returns the stream's QoS class.
+func (st *Stream) Class() Class { return st.class }
+
+// Node returns the index of the node the stream issues from.
+func (st *Stream) Node() int { return st.node }
+
+// Read admits a page read. cb fires when the page has landed in host
+// memory (or failed). ErrBackpressure means the request was NOT
+// admitted and cb will never fire: back off and retry.
+func (st *Stream) Read(a core.PageAddr, cb func(data []byte, err error)) error {
+	if st.closed {
+		return ErrClosed
+	}
+	r := &request{class: st.class, statClass: st.class, addr: a, enq: st.s.eng.Now(), rcb: cb}
+	if err := st.s.nodes[st.node].admit(r); err != nil {
+		return err
+	}
+	st.Submitted++
+	return nil
+}
+
+// Write admits a page write. The payload is snapshotted at admission,
+// so the caller may reuse its buffer as soon as Write returns.
+func (st *Stream) Write(a core.PageAddr, data []byte, cb func(err error)) error {
+	if st.closed {
+		return ErrClosed
+	}
+	r := &request{
+		class:     st.class,
+		statClass: st.class,
+		addr:      a,
+		write:     true,
+		data:      append([]byte(nil), data...),
+		enq:       st.s.eng.Now(),
+		wcb:       cb,
+	}
+	if err := st.s.nodes[st.node].admit(r); err != nil {
+		return err
+	}
+	st.Submitted++
+	return nil
+}
+
+// Close marks the stream closed; further submissions fail with
+// ErrClosed. In-flight requests still complete.
+func (st *Stream) Close() { st.closed = true }
