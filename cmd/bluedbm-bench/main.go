@@ -9,6 +9,8 @@
 //	bluedbm-bench -run fig13,fig20 # run a subset
 //	bluedbm-bench -run sched -json sched.json -short
 //	                               # scheduler smoke run, JSON metrics
+//	bluedbm-bench -run gc -json BENCH_GC.json
+//	                               # GC-aware vs GC-oblivious QoS comparison
 //	bluedbm-bench -list            # list experiment ids
 package main
 
@@ -26,7 +28,22 @@ import (
 type runner struct {
 	id   string
 	desc string
-	run  func() (string, error)
+	// writesJSON marks experiments that emit metrics to the -json
+	// file; at most one may be selected per invocation.
+	writesJSON bool
+	run        func() (string, error)
+}
+
+// writeJSON marshals v to jsonPath (no-op when jsonPath is empty).
+func writeJSON(jsonPath string, v any) error {
+	if jsonPath == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(b, '\n'), 0o644)
 }
 
 // schedRunner drives the multi-stream scheduler comparison (batched
@@ -39,89 +56,100 @@ func schedRunner(short bool, jsonPath string) func() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		if jsonPath != "" {
-			b, err := json.MarshalIndent(cmp, "", "  ")
-			if err != nil {
-				return "", err
-			}
-			if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
-				return "", err
-			}
+		if err := writeJSON(jsonPath, cmp); err != nil {
+			return "", err
 		}
 		return experiments.FormatMultiStream(cmp.Batched) + "\n" +
 			experiments.FormatBatchComparison(cmp), nil
 	}
 }
 
+// gcRunner drives the GC-isolation experiment: the same write-churn
+// workload over the logical volume layer under GC-aware and
+// GC-oblivious dispatch, comparing realtime tail latency.
+func gcRunner(short bool, jsonPath string) func() (string, error) {
+	return func() (string, error) {
+		res, err := experiments.GCIsolation(experiments.DefaultGCIsolation(short))
+		if err != nil {
+			return "", err
+		}
+		if err := writeJSON(jsonPath, res); err != nil {
+			return "", err
+		}
+		return experiments.FormatGCIsolation(res), nil
+	}
+}
+
 func allRunners(short bool, jsonPath string) []runner {
 	return []runner{
-		{"sched", "multi-stream scheduler: QoS latency and batched-submission throughput", schedRunner(short, jsonPath)},
-		{"table1", "Artix-7 flash controller resources", func() (string, error) {
+		{"sched", "multi-stream scheduler: QoS latency and batched-submission throughput", true, schedRunner(short, jsonPath)},
+		{"gc", "logical volume + FTL garbage collection: GC-aware vs GC-oblivious realtime p99", true, gcRunner(short, jsonPath)},
+		{"table1", "Artix-7 flash controller resources", false, func() (string, error) {
 			return experiments.FormatTable1(8), nil
 		}},
-		{"table2", "Virtex-7 host FPGA resources", func() (string, error) {
+		{"table2", "Virtex-7 host FPGA resources", false, func() (string, error) {
 			return experiments.FormatTable2(8), nil
 		}},
-		{"table3", "node power budget", func() (string, error) {
+		{"table3", "node power budget", false, func() (string, error) {
 			return experiments.FormatTable3(2), nil
 		}},
-		{"fig11", "integrated network bandwidth/latency vs hops", func() (string, error) {
+		{"fig11", "integrated network bandwidth/latency vs hops", false, func() (string, error) {
 			pts, err := experiments.Fig11(5)
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatFig11(pts), nil
 		}},
-		{"fig12", "remote access latency breakdown", func() (string, error) {
+		{"fig12", "remote access latency breakdown", false, func() (string, error) {
 			rows, err := experiments.Fig12()
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatFig12(rows), nil
 		}},
-		{"fig13", "read bandwidth by access mix", func() (string, error) {
+		{"fig13", "read bandwidth by access mix", false, func() (string, error) {
 			rows, err := experiments.Fig13()
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatFig13(rows), nil
 		}},
-		{"fig16", "nearest neighbor: BlueDBM vs DRAM", func() (string, error) {
+		{"fig16", "nearest neighbor: BlueDBM vs DRAM", false, func() (string, error) {
 			pts, err := experiments.Fig16(nil)
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatNN("Figure 16: nearest neighbor, BlueDBM up to two nodes", pts), nil
 		}},
-		{"fig17", "nearest neighbor: mostly-DRAM configurations", func() (string, error) {
+		{"fig17", "nearest neighbor: mostly-DRAM configurations", false, func() (string, error) {
 			pts, err := experiments.Fig17(nil)
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatNN("Figure 17: nearest neighbor with mostly DRAM", pts), nil
 		}},
-		{"fig18", "nearest neighbor: off-the-shelf SSD", func() (string, error) {
+		{"fig18", "nearest neighbor: off-the-shelf SSD", false, func() (string, error) {
 			pts, err := experiments.Fig18(nil)
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatNN("Figure 18: nearest neighbor with off-the-shelf SSD", pts), nil
 		}},
-		{"fig19", "nearest neighbor: in-store processing advantage", func() (string, error) {
+		{"fig19", "nearest neighbor: in-store processing advantage", false, func() (string, error) {
 			pts, err := experiments.Fig19(nil)
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatNN("Figure 19: nearest neighbor with in-store processing", pts), nil
 		}},
-		{"fig20", "graph traversal performance", func() (string, error) {
+		{"fig20", "graph traversal performance", false, func() (string, error) {
 			rows, err := experiments.Fig20()
 			if err != nil {
 				return "", err
 			}
 			return experiments.FormatFig20(rows), nil
 		}},
-		{"fig21", "string search bandwidth and CPU utilization", func() (string, error) {
+		{"fig21", "string search bandwidth and CPU utilization", false, func() (string, error) {
 			rows, err := experiments.Fig21()
 			if err != nil {
 				return "", err
@@ -134,8 +162,8 @@ func allRunners(short bool, jsonPath string) []runner {
 func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	short := flag.Bool("short", false, "reduced request counts for smoke runs (sched)")
-	jsonPath := flag.String("json", "", "write the sched experiment's JSON metrics to this file")
+	short := flag.Bool("short", false, "reduced request counts for smoke runs (sched, gc)")
+	jsonPath := flag.String("json", "", "write the sched/gc experiment's JSON metrics to this file (run them separately)")
 	flag.Parse()
 
 	runners := allRunners(*short, *jsonPath)
@@ -164,6 +192,21 @@ func main() {
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
 			fmt.Fprintf(os.Stderr, "bluedbm-bench: unknown experiment(s): %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	// -json writes one file; refuse to let two experiments silently
+	// overwrite each other's metrics.
+	if *jsonPath != "" {
+		jsonRunners := 0
+		for _, r := range runners {
+			if r.writesJSON && (len(want) == 0 || want[r.id]) {
+				jsonRunners++
+			}
+		}
+		if jsonRunners > 1 {
+			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched and gc experiments separately")
 			os.Exit(2)
 		}
 	}

@@ -109,6 +109,7 @@ func (c *Cluster) buildNode(i int) (*Node, error) {
 		n.servers = append(n.servers, srv)
 		n.ispIfaces = append(n.ispIfaces, srv.NewIface(name+"/isp"))
 		n.hostIfaces = append(n.hostIfaces, srv.NewIface(name+"/host"))
+		n.bgIfaces = append(n.bgIfaces, srv.NewIface(name+"/host-bg"))
 	}
 
 	host, err := hostif.New(c.Eng, fmt.Sprintf("n%d", i), p.Host)

@@ -71,6 +71,8 @@ type reqMsg struct {
 	viaHost bool // remote host processes the request (H-RH-F)
 	dram    bool // serve from the on-device DRAM buffer (H-D)
 	write   bool
+	erase   bool
+	bg      bool // background (GC) traffic: keep off the latency FIFOs
 	data    []byte // payload for writes
 }
 
@@ -93,8 +95,13 @@ type Node struct {
 
 	// ispIfaces and hostIfaces are per-card in-order flash interfaces
 	// dedicated to in-store processors and to the host DMA path.
+	// bgIfaces carry host-side background traffic (FTL garbage
+	// collection): an interface delivers responses in FIFO request
+	// order, so a 3 ms block erase sharing the latency path's
+	// interface would head-of-line-block every read behind it.
 	ispIfaces  []*flashserver.Iface
 	hostIfaces []*flashserver.Iface
+	bgIfaces   []*flashserver.Iface
 
 	Host *hostif.HostIf
 	CPU  *hostmodel.CPU
@@ -226,11 +233,15 @@ func (n *Node) handleFlashReq(src fabric.NodeID, _ int, payload any) {
 				n.respond(msg, data, nil)
 			})
 		case msg.write:
-			n.ispIfaces[msg.card].WritePhysical(msg.addr, msg.data, func(err error) {
+			n.serveIface(msg).WritePhysical(msg.addr, msg.data, func(err error) {
+				n.respond(msg, nil, err)
+			})
+		case msg.erase:
+			n.serveIface(msg).Erase(msg.addr, func(err error) {
 				n.respond(msg, nil, err)
 			})
 		default:
-			n.ispIfaces[msg.card].ReadPhysical(msg.addr, func(data []byte, err error) {
+			n.serveIface(msg).ReadPhysical(msg.addr, func(data []byte, err error) {
 				n.respond(msg, data, err)
 			})
 		}
@@ -251,6 +262,15 @@ func (n *Node) handleFlashReq(src fabric.NodeID, _ int, payload any) {
 		return
 	}
 	serve()
+}
+
+// serveIface picks the device-side interface for a remote request:
+// background (GC) traffic stays off the in-store processors' FIFO.
+func (n *Node) serveIface(msg *reqMsg) *flashserver.Iface {
+	if msg.bg {
+		return n.bgIfaces[msg.card]
+	}
+	return n.ispIfaces[msg.card]
 }
 
 // respond ships the result back over the integrated network on the
@@ -279,12 +299,22 @@ func (n *Node) handleFlashResp(_ fabric.NodeID, _ int, payload any) {
 // HostReq is one host-side flash request in the batched submission
 // path: the unit the request scheduler (internal/sched) admits, queues
 // and coalesces. For writes Data carries the payload and Done's data
-// argument is nil. Done fires exactly once.
+// argument is nil. Erase requests (issued by the host-resident FTL's
+// garbage collector) erase the whole block containing Addr; for them
+// too Done's data argument is nil. Done fires exactly once.
 type HostReq struct {
 	Addr  PageAddr
 	Write bool
-	Data  []byte
-	Done  func(data []byte, err error)
+	Erase bool
+	// Background routes the request over the card's background flash
+	// interface instead of the latency path's. Interfaces deliver
+	// responses in FIFO request order, so slow housekeeping ops (GC
+	// relocation, 3 ms erases) sharing the foreground interface would
+	// head-of-line-block every read behind them; a separate interface
+	// confines the wait to real chip-level contention.
+	Background bool
+	Data       []byte
+	Done       func(data []byte, err error)
 }
 
 // HostRouter admits host traffic into an external request scheduler.
@@ -325,21 +355,33 @@ func (n *Node) SubmitHostBatch(reqs []HostReq, issued func()) {
 		n.Host.RPC(func() {
 			for i := range reqs {
 				r := reqs[i]
-				if r.Write {
-					done := r.Done
-					n.issueHostWrite(r.Addr, r.Data, func(err error) { done(nil, err) })
-				} else {
-					n.issueHostRead(r.Addr, r.Done)
+				done := r.Done
+				switch {
+				case r.Erase:
+					n.issueHostErase(r.Addr, r.Background, func(err error) { done(nil, err) })
+				case r.Write:
+					n.issueHostWrite(r.Addr, r.Data, r.Background, func(err error) { done(nil, err) })
+				default:
+					n.issueHostRead(r.Addr, r.Background, r.Done)
 				}
 			}
 		})
 	})
 }
 
+// hostIface picks the foreground or background flash interface of a
+// local card.
+func (n *Node) hostIface(card int, bg bool) *flashserver.Iface {
+	if bg {
+		return n.bgIfaces[card]
+	}
+	return n.hostIfaces[card]
+}
+
 // issueHostRead is the device-side read path of a batch: flash or
 // network fetch, then DMA into a host read buffer and the completion
 // interrupt.
-func (n *Node) issueHostRead(a PageAddr, cb func(data []byte, err error)) {
+func (n *Node) issueHostRead(a PageAddr, bg bool, cb func(data []byte, err error)) {
 	deliver := func(data []byte, err error) {
 		if err != nil {
 			cb(nil, err)
@@ -353,15 +395,15 @@ func (n *Node) issueHostRead(a PageAddr, cb func(data []byte, err error)) {
 		})
 	}
 	if a.Node == n.id {
-		n.hostIfaces[a.Card].ReadPhysical(a.Addr, deliver)
+		n.hostIface(a.Card, bg).ReadPhysical(a.Addr, deliver)
 		return
 	}
-	n.remoteReq(reqMsg{card: a.Card, addr: a.Addr}, a.Node, deliver)
+	n.remoteReq(reqMsg{card: a.Card, addr: a.Addr, bg: bg}, a.Node, deliver)
 }
 
 // issueHostWrite is the device-side write path of a batch: write
 // buffer, PCIe DMA down, then flash (local) or network (remote).
-func (n *Node) issueHostWrite(a PageAddr, data []byte, done func(err error)) {
+func (n *Node) issueHostWrite(a PageAddr, data []byte, bg bool, done func(err error)) {
 	n.Host.AcquireWriteBuffer(func(_ int) {
 		n.Host.DeviceReadBuffer(len(data), func() {
 			fin := func(err error) {
@@ -369,13 +411,25 @@ func (n *Node) issueHostWrite(a PageAddr, data []byte, done func(err error)) {
 				done(err)
 			}
 			if a.Node == n.id {
-				n.hostIfaces[a.Card].WritePhysical(a.Addr, data, fin)
+				n.hostIface(a.Card, bg).WritePhysical(a.Addr, data, fin)
 				return
 			}
-			n.remoteReq(reqMsg{card: a.Card, addr: a.Addr, write: true, data: data}, a.Node,
+			n.remoteReq(reqMsg{card: a.Card, addr: a.Addr, write: true, data: data, bg: bg}, a.Node,
 				func(_ []byte, err error) { fin(err) })
 		})
 	})
+}
+
+// issueHostErase is the device-side erase path of a batch: no data
+// movement, just the flash command — local via the background host
+// interface, remote over the integrated network.
+func (n *Node) issueHostErase(a PageAddr, bg bool, done func(err error)) {
+	if a.Node == n.id {
+		n.hostIface(a.Card, bg).Erase(a.Addr, done)
+		return
+	}
+	n.remoteReq(reqMsg{card: a.Card, addr: a.Addr, erase: true, bg: bg}, a.Node,
+		func(_ []byte, err error) { done(err) })
 }
 
 // HostRead fetches a page into host memory via the selected access

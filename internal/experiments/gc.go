@@ -1,0 +1,249 @@
+package experiments
+
+// The GC-isolation experiment: the canonical flash QoS scenario the
+// volume layer exists for. Latency-class tenants do point reads while
+// churn writers overwrite the logical space, forcing the per-card
+// FTLs into steady-state garbage collection. The same offered load
+// runs twice:
+//
+//   - GC-aware: the scheduler's Background token budget defers
+//     relocation I/O while latency-class queues are hot and escalates
+//     it as free-block headroom shrinks;
+//   - GC-oblivious: Background dispatches unthrottled, so a
+//     collection's pipelined relocation floods the device window and
+//     realtime reads queue behind it at the flash.
+//
+// The headline number is the realtime-class p99 ratio between the two.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/volume"
+	"repro/internal/workload"
+)
+
+// GCIsolationConfig sizes the experiment.
+type GCIsolationConfig struct {
+	Nodes    int    `json:"nodes"`
+	Readers  int    `json:"readers"`  // realtime point-read streams
+	Writers  int    `json:"writers"`  // batch churn-writer streams
+	Depth    int    `json:"depth"`    // closed-loop outstanding per stream
+	Requests int    `json:"requests"` // completions per stream
+	Seed     uint64 `json:"seed"`
+
+	Sched sched.Config `json:"sched"`
+	FTL   ftl.Config   `json:"ftl"`
+}
+
+// DefaultGCIsolation returns the standard shape: a 2-node cluster
+// whose volume is fully seeded, half the streams reading at realtime
+// while the other half churns. short cuts request counts for smoke
+// runs.
+func DefaultGCIsolation(short bool) GCIsolationConfig {
+	cfg := GCIsolationConfig{
+		Nodes:    2,
+		Readers:  8,
+		Writers:  4,
+		Depth:    4,
+		Requests: 768,
+		Seed:     42,
+		Sched:    sched.DefaultConfig(),
+		FTL:      ftl.Config{OverProvision: 0.25, GCLowWater: 4, WearLevelEvery: 64, GCPipeline: 16},
+	}
+	// The dispatcher must own the device window for QoS (and the GC
+	// token budget) to act: with a window wider than the offered load,
+	// contention moves into the per-card FIFOs where class is
+	// invisible. 16 slots per node keeps the admission queue — where
+	// priority and GC deferral act — as the contention point.
+	cfg.Sched.MaxInflight = 16
+	cfg.Sched.BatchSize = 16
+	if short {
+		cfg.Requests = 192
+	}
+	return cfg
+}
+
+// gcParams shrinks flash capacity further than scaledParams so the
+// volume can be seeded and churned to steady-state GC in seconds of
+// wall-clock time.
+func gcParams(nodes int) core.Params {
+	p := core.DefaultParams(nodes)
+	// Small capacity so churn reaches steady-state GC quickly, but
+	// full-size blocks: the erase rate per written page falls with
+	// block size, keeping unavoidable read-behind-erase chip
+	// collisions (identical in both arms) out of the p99 quantile that
+	// the dispatch policies are being compared on.
+	p.Geometry.ChipsPerBus = 2
+	p.Geometry.BlocksPerChip = 2
+	p.Geometry.PagesPerBlock = 32
+	return p
+}
+
+// GCArm is one run (GC-aware or GC-oblivious).
+type GCArm struct {
+	Loop   workload.LoopResult `json:"loop"`
+	Sched  sched.Snapshot      `json:"sched"`
+	Volume volume.Stats        `json:"volume"`
+}
+
+// realtimeClass pulls the realtime class's snapshot out of an arm.
+func (a GCArm) realtimeClass() sched.ClassSnapshot {
+	for _, cs := range a.Sched.Classes {
+		if cs.Class == "realtime" {
+			return cs
+		}
+	}
+	return sched.ClassSnapshot{}
+}
+
+// GCIsolationResult is the JSON-ready outcome.
+type GCIsolationResult struct {
+	Config    GCIsolationConfig `json:"config"`
+	Aware     GCArm             `json:"gc_aware"`
+	Oblivious GCArm             `json:"gc_oblivious"`
+
+	// RealtimeP99*Us is each arm's realtime read tail latency under
+	// identical offered load; ImprovementX is oblivious/aware.
+	RealtimeP99AwareUs     float64 `json:"realtime_p99_aware_us"`
+	RealtimeP99ObliviousUs float64 `json:"realtime_p99_oblivious_us"`
+	ImprovementX           float64 `json:"p99_improvement_x"`
+}
+
+// gcSpecs builds the stream mix: realtime point readers over the
+// whole volume plus full-churn batch writers.
+func gcSpecs(cfg GCIsolationConfig) []workload.VolumeStreamSpec {
+	var specs []workload.VolumeStreamSpec
+	for i := 0; i < cfg.Readers; i++ {
+		specs = append(specs, workload.VolumeStreamSpec{
+			Name:  fmt.Sprintf("rt%02d", i),
+			Class: sched.Realtime,
+			// Latency probes: sparse point reads (depth 1, ~2 kreq/s
+			// per probe) that stay live for exactly the churn window.
+			// A saturating realtime loop would measure its own
+			// self-queueing; sparse arrivals measure what they should —
+			// how occupied GC leaves the device when a latency-critical
+			// read shows up.
+			Requests:  -1,
+			Depth:     1,
+			ThinkTime: 500 * sim.Microsecond,
+			Seed:      cfg.Seed + uint64(i)*1299709,
+		})
+	}
+	for i := 0; i < cfg.Writers; i++ {
+		specs = append(specs, workload.VolumeStreamSpec{
+			Name:          fmt.Sprintf("wr%02d", i),
+			Class:         sched.Batch,
+			WriteFraction: 1.0,
+			// Paced, not saturating: heavy-but-sustainable churn. A
+			// fully saturating writer pool drives the erase rate so
+			// high that unavoidable read-behind-erase chip collisions
+			// (identical under any dispatch policy) dominate the p99
+			// quantile and hide what scheduling can and cannot do.
+			Depth:     2,
+			ThinkTime: 4 * sim.Millisecond,
+			Seed:      cfg.Seed + 7 + uint64(i)*15485863,
+		})
+	}
+	return specs
+}
+
+// runGCArm builds a fresh cluster+scheduler+volume, seeds the whole
+// logical space, then drives the mixed workload with the given GC
+// dispatch policy.
+func runGCArm(cfg GCIsolationConfig, gcDefer bool) (GCArm, error) {
+	scfg := cfg.Sched
+	scfg.GCDefer = gcDefer
+	c, err := core.NewCluster(gcParams(cfg.Nodes))
+	if err != nil {
+		return GCArm{}, err
+	}
+	s, err := sched.New(c, scfg)
+	if err != nil {
+		return GCArm{}, err
+	}
+	vcfg := volume.DefaultConfig()
+	vcfg.FTL = cfg.FTL
+	v, err := volume.New(c, s, vcfg)
+	if err != nil {
+		return GCArm{}, err
+	}
+	if err := workload.SeedVolume(v, c, v.Pages(), 64, cfg.Seed); err != nil {
+		return GCArm{}, err
+	}
+	// Warm the FTLs into churn before measuring: one unmeasured round
+	// of overwrites pushes the free pools toward the GC region.
+	warm := gcSpecs(cfg)
+	for i := range warm {
+		warm[i].Seed ^= 0x5eed
+	}
+	if _, err := workload.RunVolumeClosedLoop(v, c, warm, cfg.Depth, cfg.Requests/4); err != nil {
+		return GCArm{}, err
+	}
+	s.ResetStats()
+	base := v.Stats()
+	loop, err := workload.RunVolumeClosedLoop(v, c, gcSpecs(cfg), cfg.Depth, cfg.Requests)
+	if err != nil {
+		return GCArm{}, err
+	}
+	if loop.Errors > 0 {
+		return GCArm{}, fmt.Errorf("%d request errors", loop.Errors)
+	}
+	// Volume counters, like the scheduler snapshot, cover only the
+	// measured window — seeding and warm-up I/O are identical in both
+	// arms and would dilute the cross-arm deltas.
+	arm := GCArm{Loop: loop, Sched: s.Snapshot(), Volume: v.Stats().Delta(base)}
+	if arm.Volume.GCMoves == 0 {
+		return GCArm{}, fmt.Errorf("no garbage collection happened: the churn load is too light for the experiment to mean anything")
+	}
+	return arm, nil
+}
+
+// GCIsolation runs the same write-churn workload under GC-aware and
+// GC-oblivious dispatch and compares realtime tail latency.
+func GCIsolation(cfg GCIsolationConfig) (GCIsolationResult, error) {
+	res := GCIsolationResult{Config: cfg}
+	var err error
+	if res.Aware, err = runGCArm(cfg, true); err != nil {
+		return res, fmt.Errorf("gc-aware arm: %w", err)
+	}
+	if res.Oblivious, err = runGCArm(cfg, false); err != nil {
+		return res, fmt.Errorf("gc-oblivious arm: %w", err)
+	}
+	res.RealtimeP99AwareUs = res.Aware.realtimeClass().P99Us
+	res.RealtimeP99ObliviousUs = res.Oblivious.realtimeClass().P99Us
+	if res.RealtimeP99AwareUs > 0 {
+		res.ImprovementX = res.RealtimeP99ObliviousUs / res.RealtimeP99AwareUs
+	}
+	return res, nil
+}
+
+// FormatGCIsolation renders the comparison.
+func FormatGCIsolation(r GCIsolationResult) string {
+	var t table
+	t.row("Dispatch", "rt p50 us", "rt p99 us", "Kops/s", "GC moves", "erases", "WA")
+	rows := []struct {
+		name string
+		a    GCArm
+	}{
+		{"gc-aware", r.Aware},
+		{"gc-oblivious", r.Oblivious},
+	}
+	for _, row := range rows {
+		rt := row.a.realtimeClass()
+		t.row(row.name, f1(rt.P50Us), f1(rt.P99Us),
+			f1(row.a.Sched.TotalOpsPerSec/1e3),
+			fmt.Sprintf("%d", row.a.Volume.GCMoves),
+			fmt.Sprintf("%d", row.a.Volume.FlashErases),
+			f2(row.a.Volume.WriteAmp))
+	}
+	head := fmt.Sprintf(
+		"GC isolation: %d realtime readers + %d churn writers, %d nodes, logical volume over per-card FTLs\n"+
+			"realtime p99 %.1f us (GC-aware) vs %.1f us (GC-oblivious): %.1fx better under identical load\n",
+		r.Config.Readers, r.Config.Writers, r.Config.Nodes,
+		r.RealtimeP99AwareUs, r.RealtimeP99ObliviousUs, r.ImprovementX)
+	return head + t.String()
+}

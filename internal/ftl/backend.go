@@ -1,0 +1,71 @@
+package ftl
+
+import (
+	"repro/internal/flashserver"
+	"repro/internal/nand"
+)
+
+// IOTag labels the traffic stream a flash operation belongs to. The
+// FTL treats tags opaquely except for two things: every tag gets its
+// own write frontier (so two streams never interleave programs inside
+// one NAND block, which would violate in-order programming), and
+// TagGC marks the FTL's own relocation traffic so the backend can
+// schedule it differently from host I/O.
+type IOTag uint8
+
+// TagGC is the reserved tag for garbage-collection relocation and
+// erase traffic. Host callers must not use it.
+const TagGC IOTag = 0xFF
+
+// Backend is the flash transport under an FTL. The stock adapter
+// wraps a flashserver.Iface (ignoring tags); internal/volume supplies
+// a backend that routes each tag through a QoS class of the request
+// scheduler instead, which is how GC work becomes schedulable.
+//
+// A backend may delay operations arbitrarily, but writes carrying the
+// same tag must reach the flash in issue order: the FTL allocates
+// frontier pages in issue order and NAND blocks program in order.
+type Backend interface {
+	ReadPage(a nand.Addr, tag IOTag, cb func(data []byte, err error))
+	WritePage(a nand.Addr, data []byte, tag IOTag, cb func(err error))
+	EraseBlock(a nand.Addr, tag IOTag, cb func(err error))
+}
+
+// ifaceBackend adapts a flashserver.Iface: one in-order FIFO channel,
+// tags dropped.
+type ifaceBackend struct {
+	f *flashserver.Iface
+}
+
+// IfaceBackend wraps a flashserver interface as a Backend.
+func IfaceBackend(f *flashserver.Iface) Backend { return ifaceBackend{f} }
+
+func (b ifaceBackend) ReadPage(a nand.Addr, _ IOTag, cb func([]byte, error)) {
+	b.f.ReadPhysical(a, cb)
+}
+
+func (b ifaceBackend) WritePage(a nand.Addr, data []byte, _ IOTag, cb func(error)) {
+	b.f.WritePhysical(a, data, cb)
+}
+
+func (b ifaceBackend) EraseBlock(a nand.Addr, _ IOTag, cb func(error)) {
+	b.f.Erase(a, cb)
+}
+
+// Hooks let the layer above observe the GC lifecycle. The volume
+// layer uses them to tell the request scheduler when relocation
+// traffic exists and how urgent it is, so the dispatcher can defer GC
+// while latency-class queues are busy and escalate as free-block
+// headroom shrinks.
+type Hooks struct {
+	// GCStart fires when a collection is triggered (before any
+	// relocation I/O is issued).
+	GCStart func()
+	// GCEnd fires when the collection finishes (victim erased, or the
+	// pass aborted), just before the operations queued behind it
+	// drain.
+	GCEnd func()
+	// Urgency fires whenever the free-block pool changes size, with
+	// Urgency() recomputed.
+	Urgency func(u float64)
+}

@@ -6,10 +6,29 @@
 // ("similar to Fusion IO's driver").
 //
 // It is a page-mapped FTL: every logical page number (LPN) maps to a
-// physical page (PPN); writes go to a moving frontier; greedy garbage
-// collection recycles the block with the fewest valid pages; periodic
-// wear-leveling passes recycle the coldest block instead so erase wear
-// stays even.
+// physical page (PPN); writes go to a moving frontier (one frontier
+// per IOTag, so concurrent streams never interleave programs inside a
+// block); greedy garbage collection recycles the block with the fewest
+// valid pages; periodic wear-leveling passes recycle the coldest block
+// instead so erase wear stays even.
+//
+// Concurrency rules (all in virtual time, single-threaded):
+//   - Writes proceed during an active collection while the free pool
+//     stays above a reserve (their frontiers are disjoint from the
+//     sealed victim); below it they queue in pendingOps and drain when
+//     the victim is erased, so they can never starve the relocation
+//     destination.
+//   - Reads resolve their mapping at issue time and never wait for a
+//     collection: relocation only copies, so a racing read still finds
+//     its data at the old physical page. The one destructive step —
+//     the victim erase — waits until in-flight reads against the
+//     victim drain, and after relocation no mapping points into the
+//     victim, so no new read can resolve there. A read can therefore
+//     never land on a page the collector erases under it.
+//   - A collection that cannot allocate relocation space aborts and
+//     marks the FTL stalled; further allocations fail deterministically
+//     with ErrNoSpace (instead of re-triggering the same doomed pass)
+//     until an invalidation shrinks some victim's relocation demand.
 package ftl
 
 import (
@@ -26,6 +45,7 @@ var (
 	ErrOutOfRange = errors.New("ftl: logical page out of range")
 	ErrDataSize   = errors.New("ftl: data must be exactly one page")
 	ErrNoSpace    = errors.New("ftl: device full (no free blocks and nothing to collect)")
+	ErrBadTag     = errors.New("ftl: TagGC is reserved for internal GC traffic")
 )
 
 // Config tunes the FTL.
@@ -39,11 +59,16 @@ type Config struct {
 	// WearLevelEvery runs a wear-leveling pass instead of a greedy pass
 	// every N collections (0 disables static wear leveling).
 	WearLevelEvery int
+	// GCPipeline is the number of relocation transfers a collection
+	// keeps in flight at once (0 or 1 = sequential). Pipelining is what
+	// makes an unthrottled collection monopolize the device — and what
+	// the scheduler's GC token budget exists to pace.
+	GCPipeline int
 }
 
 // DefaultConfig uses typical SSD numbers.
 func DefaultConfig() Config {
-	return Config{OverProvision: 0.25, GCLowWater: 2, WearLevelEvery: 16}
+	return Config{OverProvision: 0.25, GCLowWater: 2, WearLevelEvery: 16, GCPipeline: 4}
 }
 
 type pageState uint8
@@ -60,25 +85,42 @@ type blockInfo struct {
 	erases   int64
 	bad      bool
 	isActive bool
+	pending  int // programs issued but not yet acknowledged
+	reads    int // host reads in flight against this block
 }
 
-// FTL drives one flash card through a flashserver interface.
+// gcState tracks one in-progress collection.
+type gcState struct {
+	victim      int
+	next        int // next page index of the victim to scan
+	inflight    int // outstanding relocation transfers
+	aborted     bool
+	relocated   bool // all valid pages moved; erase is next
+	eraseIssued bool
+}
+
+// FTL drives one flash card through a Backend.
 type FTL struct {
-	iface *flashserver.Iface
+	io    Backend
 	geo   nand.Geometry
 	cfg   Config
+	hooks Hooks
 
 	lpns      int   // logical space size
 	l2p       []int // lpn -> ppn, -1 if unmapped
 	p2l       []int // ppn -> lpn, -1 if none
 	pageState []pageState
 	blocks    []blockInfo
-	freePool  []int // free block indices
+	freePool  []int // min-heap of free block indices, keyed on erase count
 
-	active     int // current frontier block, -1 if none
-	gcActive   bool
+	actives    map[IOTag]int // per-tag frontier block
+	gcActive   bool          // a collection is triggered (ops queue behind it)
+	gcRunning  bool          // relocation I/O has started
+	gcStalled  bool          // last collection made no progress: no room to relocate
+	prevWear   bool          // last collection was a wear pass (forces greedy next)
+	gcst       *gcState
 	gcCount    int64
-	pendingOps []func() // writes queued behind GC
+	pendingOps []func() // writes queued behind GC by the reserve gate
 
 	// stats
 	HostWrites    int64
@@ -86,11 +128,18 @@ type FTL struct {
 	FlashPrograms int64
 	FlashErases   int64
 	GCMoves       int64
+	GCAborts      int64
 	BadBlocks     int64
 }
 
-// New builds an FTL over iface with the given card geometry.
+// New builds an FTL over a flashserver interface with the given card
+// geometry.
 func New(iface *flashserver.Iface, geo nand.Geometry, cfg Config) (*FTL, error) {
+	return NewWithBackend(IfaceBackend(iface), geo, cfg)
+}
+
+// NewWithBackend builds an FTL over an arbitrary Backend.
+func NewWithBackend(io Backend, geo nand.Geometry, cfg Config) (*FTL, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
@@ -100,9 +149,12 @@ func New(iface *flashserver.Iface, geo nand.Geometry, cfg Config) (*FTL, error) 
 	if cfg.GCLowWater < 1 {
 		cfg.GCLowWater = 1
 	}
+	if cfg.GCPipeline < 1 {
+		cfg.GCPipeline = 1
+	}
 	total := geo.TotalPages()
 	f := &FTL{
-		iface:     iface,
+		io:        io,
 		geo:       geo,
 		cfg:       cfg,
 		lpns:      int(float64(total) * (1 - cfg.OverProvision)),
@@ -110,17 +162,22 @@ func New(iface *flashserver.Iface, geo nand.Geometry, cfg Config) (*FTL, error) 
 		p2l:       make([]int, total),
 		pageState: make([]pageState, total),
 		blocks:    make([]blockInfo, geo.Buses*geo.ChipsPerBus*geo.BlocksPerChip),
-		active:    -1,
+		actives:   make(map[IOTag]int),
 	}
 	for i := range f.l2p {
 		f.l2p[i] = -1
 		f.p2l[i] = -1
 	}
+	// All blocks start with zero erases, so ascending index order is
+	// already a valid min-heap.
 	for b := range f.blocks {
 		f.freePool = append(f.freePool, b)
 	}
 	return f, nil
 }
+
+// SetHooks installs GC lifecycle hooks (see Hooks).
+func (f *FTL) SetHooks(h Hooks) { f.hooks = h }
 
 // LogicalPages returns the size of the logical space.
 func (f *FTL) LogicalPages() int { return f.lpns }
@@ -135,6 +192,33 @@ func (f *FTL) WriteAmplification() float64 {
 
 // FreeBlocks returns the current free pool size.
 func (f *FTL) FreeBlocks() int { return len(f.freePool) }
+
+// Urgency reports how badly the FTL needs its relocation work to run,
+// from 0 (free pool at or above the GC low-water mark: collection is
+// keeping up and can afford to be deferred) to 1 (pool dry, host
+// writes about to stall). The scheduler uses it to scale the GC token
+// budget, so it measures deficit below the trigger point, not pool
+// fullness: while GC keeps up, relocation deserves no device share.
+func (f *FTL) Urgency() float64 {
+	low := f.cfg.GCLowWater
+	if low < 1 {
+		low = 1
+	}
+	u := 1 - float64(len(f.freePool))/float64(low)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+func (f *FTL) notifyUrgency() {
+	if f.hooks.Urgency != nil {
+		f.hooks.Urgency(f.Urgency())
+	}
+}
 
 // blockOf returns the block index containing a ppn.
 func (f *FTL) blockOf(ppn int) int { return ppn / f.geo.PagesPerBlock }
@@ -157,25 +241,68 @@ func (f *FTL) blockAddr(blk int) nand.Addr {
 	return a
 }
 
-// Read fetches a logical page.
+// Read fetches a logical page (tag 0).
 func (f *FTL) Read(lpn int, cb func(data []byte, err error)) {
+	f.ReadTagged(lpn, 0, cb)
+}
+
+// ReadTagged fetches a logical page on the given traffic tag. Reads
+// never wait for garbage collection: the mapping is resolved at issue
+// time, and the collector's erase — the only op that could destroy
+// the resolved page — waits for in-flight reads against the victim to
+// drain (see doRead/maybeErase).
+func (f *FTL) ReadTagged(lpn int, tag IOTag, cb func(data []byte, err error)) {
 	if lpn < 0 || lpn >= f.lpns {
 		cb(nil, fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
 		return
 	}
+	if tag == TagGC {
+		cb(nil, ErrBadTag)
+		return
+	}
+	f.doRead(lpn, tag, cb)
+}
+
+// doRead resolves the mapping and issues the flash read. Reads never
+// wait for garbage collection: relocation only copies, so a read that
+// races it still finds its data at the old physical page — the one
+// destructive step, the victim erase, is what waits for in-flight
+// reads to drain (see maybeErase). Once a page is relocated the
+// mapping points at the copy, so later reads resolve away from the
+// victim on their own.
+func (f *FTL) doRead(lpn int, tag IOTag, cb func(data []byte, err error)) {
 	ppn := f.l2p[lpn]
 	if ppn < 0 {
 		cb(nil, fmt.Errorf("%w: %d", ErrUnmapped, lpn))
 		return
 	}
 	f.HostReads++
-	f.iface.ReadPhysical(f.addrOf(ppn), cb)
+	blk := f.blockOf(ppn)
+	f.blocks[blk].reads++
+	f.io.ReadPage(f.addrOf(ppn), tag, func(data []byte, err error) {
+		f.blocks[blk].reads--
+		f.maybeErase()
+		cb(data, err)
+	})
 }
 
-// Write stores a logical page, remapping it to a fresh physical page.
+// Write stores a logical page (tag 0), remapping it to a fresh
+// physical page.
 func (f *FTL) Write(lpn int, data []byte, cb func(err error)) {
+	f.WriteTagged(lpn, data, 0, cb)
+}
+
+// WriteTagged stores a logical page on the given traffic tag. Each tag
+// writes to its own frontier block, so streams submitted through
+// independently-scheduled channels keep NAND's in-order-per-block
+// programming rule without cross-stream coupling.
+func (f *FTL) WriteTagged(lpn int, data []byte, tag IOTag, cb func(err error)) {
 	if lpn < 0 || lpn >= f.lpns {
 		cb(fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	if tag == TagGC {
+		cb(ErrBadTag)
 		return
 	}
 	if len(data) != f.geo.PageSize {
@@ -185,7 +312,7 @@ func (f *FTL) Write(lpn int, data []byte, cb func(err error)) {
 	f.HostWrites++
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	f.enqueue(func() { f.doWrite(lpn, buf, cb) })
+	f.enqueue(func() { f.doWrite(lpn, buf, tag, cb) })
 }
 
 // Trim invalidates a logical page without writing.
@@ -200,17 +327,32 @@ func (f *FTL) Trim(lpn int) error {
 	return nil
 }
 
-// enqueue runs op now, or after the in-progress GC drains.
+// gcReserveBlocks is the free-block floor below which host writes
+// stall behind an active collection: the last blocks are reserved as
+// the relocation destination, because a write racing GC for them can
+// abort the collection and wedge the device.
+const gcReserveBlocks = 1
+
+// enqueue runs a write now, or behind the in-progress GC when the
+// free-block reserve demands it. Writes that proceed during a
+// collection go to their own tag's frontier and cannot disturb the
+// victim (relocation re-validates each page's mapping before
+// installing the copy), so blocking every write for the whole
+// collection would only build a post-GC program storm. Note that a
+// write admitted during GC is not ordered against writes queued
+// behind it — same-page racers have no ordering guarantee anywhere in
+// the scheduler stack; callers that need read-your-write await
+// completions.
 func (f *FTL) enqueue(op func()) {
-	if f.gcActive {
+	if f.gcActive && len(f.freePool) <= gcReserveBlocks {
 		f.pendingOps = append(f.pendingOps, op)
 		return
 	}
 	op()
 }
 
-func (f *FTL) doWrite(lpn int, data []byte, cb func(err error)) {
-	f.allocAndProgram(data, func(finalPPN int, err error) {
+func (f *FTL) doWrite(lpn int, data []byte, tag IOTag, cb func(err error)) {
+	f.allocAndProgram(data, tag, func(finalPPN int, err error) {
 		if err != nil {
 			cb(err)
 			return
@@ -230,8 +372,8 @@ func (f *FTL) doWrite(lpn int, data []byte, cb func(err error)) {
 
 // allocAndProgram takes a frontier page (starting GC first if needed)
 // and programs data into it, retrying on bad blocks.
-func (f *FTL) allocAndProgram(data []byte, cb func(finalPPN int, err error)) {
-	ppn, err := f.allocPage(func() { f.allocAndProgram(data, cb) })
+func (f *FTL) allocAndProgram(data []byte, tag IOTag, cb func(finalPPN int, err error)) {
+	ppn, err := f.allocPage(tag, func() { f.allocAndProgram(data, tag, cb) })
 	if err != nil {
 		cb(-1, err)
 		return
@@ -239,21 +381,40 @@ func (f *FTL) allocAndProgram(data []byte, cb func(finalPPN int, err error)) {
 	if ppn < 0 {
 		return // GC started; this op was requeued
 	}
-	f.program(ppn, data, cb)
+	f.program(ppn, data, tag, cb)
 }
 
 // program writes data at ppn, transparently retrying elsewhere when
 // the block turns out bad.
-func (f *FTL) program(ppn int, data []byte, cb func(finalPPN int, err error)) {
+func (f *FTL) program(ppn int, data []byte, tag IOTag, cb func(finalPPN int, err error)) {
 	f.FlashPrograms++
-	f.iface.WritePhysical(f.addrOf(ppn), data, func(err error) {
+	blk := f.blockOf(ppn)
+	f.blocks[blk].pending++
+	f.io.WritePage(f.addrOf(ppn), data, tag, func(err error) {
+		f.blocks[blk].pending--
+		// A waiting collection may have picked this block as its victim.
+		f.maybeBeginGC()
 		if err == nil {
 			cb(ppn, nil)
 			return
 		}
 		if errors.Is(err, nand.ErrBadBlock) {
-			f.retireBlock(f.blockOf(ppn))
-			f.allocAndProgram(data, cb)
+			f.retireBlock(blk)
+			// GC relocation retries must not route through allocPage:
+			// its queue-behind-GC branches would park the retry in
+			// pendingOps behind the very collection waiting on this
+			// callback. Re-allocate on the GC path and let a no-space
+			// failure abort the pass instead.
+			if tag == TagGC {
+				dst, aerr := f.gcAllocPage()
+				if aerr != nil {
+					cb(-1, aerr)
+					return
+				}
+				f.program(dst, data, TagGC, cb)
+				return
+			}
+			f.allocAndProgram(data, tag, cb)
 			return
 		}
 		cb(-1, err)
@@ -264,90 +425,177 @@ func (f *FTL) program(ppn int, data []byte, cb func(finalPPN int, err error)) {
 func (f *FTL) invalidate(ppn int) {
 	if f.pageState[ppn] == pageValid {
 		f.blocks[f.blockOf(ppn)].valid--
+		// A stalled FTL aborted its last collection for lack of
+		// relocation space; dropping a valid page shrinks some
+		// victim's relocation demand (a zero-valid victim needs none
+		// at all), so collection is worth retrying. If it still cannot
+		// fit, it re-aborts and re-stalls — progress requires another
+		// invalidation, so this cannot loop.
+		f.gcStalled = false
 	}
 	f.pageState[ppn] = pageInvalid
 	f.p2l[ppn] = -1
 }
 
-// retireBlock permanently removes a block from service.
+// retireBlock permanently removes a block from service, clearing any
+// frontier that pointed at it so no stale active state survives.
 func (f *FTL) retireBlock(blk int) {
-	if !f.blocks[blk].bad {
-		f.blocks[blk].bad = true
-		f.BadBlocks++
-		if f.active == blk {
-			f.active = -1
+	bi := &f.blocks[blk]
+	if bi.bad {
+		return
+	}
+	bi.bad = true
+	bi.isActive = false
+	f.BadBlocks++
+	for tag, a := range f.actives {
+		if a == blk {
+			delete(f.actives, tag)
 		}
 	}
 }
 
-// allocPage returns the next frontier ppn, or (-1, nil) if GC had to
-// start first (retry is the op to requeue behind the GC).
-func (f *FTL) allocPage(retry func()) (int, error) {
+// allocPage returns the next frontier ppn for tag, or (-1, nil) if GC
+// had to start first (retry is the op to requeue behind the GC).
+func (f *FTL) allocPage(tag IOTag, retry func()) (int, error) {
 	for {
-		if f.active >= 0 {
-			b := &f.blocks[f.active]
+		if blk, ok := f.actives[tag]; ok {
+			b := &f.blocks[blk]
 			if b.bad {
-				f.active = -1
+				delete(f.actives, tag)
 				continue
 			}
 			if b.written < f.geo.PagesPerBlock {
-				ppn := f.active*f.geo.PagesPerBlock + b.written
+				ppn := blk*f.geo.PagesPerBlock + b.written
 				b.written++
 				return ppn, nil
 			}
 			b.isActive = false
-			f.active = -1
+			delete(f.actives, tag)
 		}
-		// Need a new active block.
-		if len(f.freePool) <= f.cfg.GCLowWater && !f.gcActive {
-			if f.victimExists() {
+		// Need a new frontier block. A stalled FTL (last collection
+		// found no room to relocate) must not re-trigger the same
+		// doomed pass: only an erase or an invalidation can change the
+		// outcome, so keep allocating from the pool and fail when it
+		// runs dry.
+		if len(f.freePool) <= f.cfg.GCLowWater && !f.gcActive && !f.gcStalled {
+			wear := f.wearPassDue()
+			if victim := f.pickVictim(wear); victim >= 0 {
+				// Queue the retry before starting: with a synchronous
+				// backend the whole collection (and its pendingOps
+				// drain) can complete inside beginGC.
 				if retry != nil {
 					f.pendingOps = append(f.pendingOps, retry)
 				}
-				f.startGC()
+				f.beginGC(victim, wear)
 				return -1, nil
 			}
-			if len(f.freePool) == 0 {
-				return 0, ErrNoSpace
-			}
+		}
+		// While a collection is in flight, ops that reached this point
+		// past the enqueue reserve gate (bad-block retries, writes
+		// admitted just before the pool dropped) must neither consume
+		// the reserve the collection's relocation needs nor see a
+		// transient "device full": queue them behind the collection.
+		// ErrNoSpace is then only ever returned with no collection in
+		// flight — deterministically.
+		if f.gcActive && len(f.freePool) <= gcReserveBlocks && retry != nil {
+			f.pendingOps = append(f.pendingOps, retry)
+			return -1, nil
 		}
 		if len(f.freePool) == 0 {
 			return 0, ErrNoSpace
 		}
-		f.active = f.popLeastWorn()
-		ab := &f.blocks[f.active]
+		blk := f.popLeastWorn()
+		f.actives[tag] = blk
+		ab := &f.blocks[blk]
 		ab.isActive = true
 		ab.written = 0
 		ab.valid = 0
 	}
 }
 
+// --- free pool: min-heap keyed on erase count ------------------------
+
+// freeLess orders the heap by erase count, block index as the
+// deterministic tie-break. Heap invariant: a block's erase count
+// never changes while it sits in freePool — erases increment only in
+// eraseVictim, immediately before pushFree re-inserts the block.
+func (f *FTL) freeLess(a, b int) bool {
+	ea, eb := f.blocks[a].erases, f.blocks[b].erases
+	if ea != eb {
+		return ea < eb
+	}
+	return a < b
+}
+
+// pushFree returns a block to the free pool.
+func (f *FTL) pushFree(blk int) {
+	f.freePool = append(f.freePool, blk)
+	i := len(f.freePool) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !f.freeLess(f.freePool[i], f.freePool[parent]) {
+			break
+		}
+		f.freePool[i], f.freePool[parent] = f.freePool[parent], f.freePool[i]
+		i = parent
+	}
+	f.notifyUrgency()
+}
+
 // popLeastWorn takes the free block with the fewest erases, spreading
 // dynamic wear evenly across the pool (the allocation half of wear
-// leveling; the victim-selection half is in pickVictim).
+// leveling; the victim-selection half is in pickVictim). The pool is a
+// min-heap, so this is O(log n) instead of the old linear scan that
+// ran on every frontier-block allocation.
 func (f *FTL) popLeastWorn() int {
-	best := 0
-	for i := 1; i < len(f.freePool); i++ {
-		if f.blocks[f.freePool[i]].erases < f.blocks[f.freePool[best]].erases {
-			best = i
+	blk := f.freePool[0]
+	last := len(f.freePool) - 1
+	f.freePool[0] = f.freePool[last]
+	f.freePool = f.freePool[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && f.freeLess(f.freePool[l], f.freePool[best]) {
+			best = l
 		}
+		if r < last && f.freeLess(f.freePool[r], f.freePool[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		f.freePool[i], f.freePool[best] = f.freePool[best], f.freePool[i]
+		i = best
 	}
-	blk := f.freePool[best]
-	f.freePool = append(f.freePool[:best], f.freePool[best+1:]...)
+	f.notifyUrgency()
 	return blk
 }
 
-// victimExists reports whether any sealed block could be collected.
-func (f *FTL) victimExists() bool {
-	return f.pickVictim() >= 0
+// wearPassDue reports whether the next collection should be a static
+// wear-leveling pass. Wear passes may pick an all-valid victim that
+// reclaims zero net pages, so they are gated: at least one free block
+// (a full block of destination always fits an all-valid victim; with
+// the pool dry the pass would abort where a greedy victim might still
+// fit the frontier remainder), and never two in a row — the previous
+// collection must have been a greedy, progress-making pass. Without
+// the alternation a wear-heavy configuration collects cold all-valid
+// blocks forever and no write can ever allocate. The gate is >= 1,
+// not 2, so the knob stays live at GCLowWater: 1, where collections
+// only ever trigger with zero or one free block.
+func (f *FTL) wearPassDue() bool {
+	return f.cfg.WearLevelEvery > 0 && f.gcCount > 0 &&
+		f.gcCount%int64(f.cfg.WearLevelEvery) == 0 &&
+		len(f.freePool) >= 1 && !f.prevWear
 }
 
 // pickVictim selects the GC victim: normally the sealed block with the
-// fewest valid pages; every WearLevelEvery-th collection, the sealed
-// block with the lowest erase count (static wear leveling), so cold
-// blocks re-enter circulation.
-func (f *FTL) pickVictim() int {
-	wearPass := f.cfg.WearLevelEvery > 0 && f.gcCount > 0 && f.gcCount%int64(f.cfg.WearLevelEvery) == 0
+// fewest valid pages; on a wear pass, the sealed block with the lowest
+// erase count (static wear leveling), so cold blocks re-enter
+// circulation. A sealed block may still have unacknowledged programs
+// (bursty admission); it is eligible, but relocation waits for them to
+// drain (see maybeBeginGC) so no outstanding flash op is erased under.
+func (f *FTL) pickVictim(wearPass bool) int {
 	best := -1
 	for b := range f.blocks {
 		bi := &f.blocks[b]
@@ -372,84 +620,158 @@ func (f *FTL) pickVictim() int {
 	return best
 }
 
-// startGC collects one victim block, then drains queued operations.
-func (f *FTL) startGC() {
-	victim := f.pickVictim()
-	if victim < 0 {
+// beginGC triggers a collection of the chosen victim block (picked by
+// the caller). Relocation I/O begins once in-flight programs against
+// the victim drain.
+func (f *FTL) beginGC(victim int, wear bool) {
+	f.prevWear = wear
+	f.gcActive = true
+	f.gcCount++
+	f.gcst = &gcState{victim: victim}
+	if f.hooks.GCStart != nil {
+		f.hooks.GCStart()
+	}
+	f.maybeBeginGC()
+}
+
+// maybeBeginGC starts relocation once no outstanding program is in
+// flight against the victim. The victim is sealed (fully allocated),
+// so no new program can ever target it and the count only drains;
+// once it hits zero the victim's page states are final and its data
+// safe to move. In-flight reads do not block relocation — only the
+// erase (see maybeErase).
+func (f *FTL) maybeBeginGC() {
+	if !f.gcActive || f.gcRunning || f.blocks[f.gcst.victim].pending > 0 {
+		return
+	}
+	f.gcRunning = true
+	f.pumpGC()
+}
+
+// maybeErase issues the victim erase once relocation is complete and
+// no host read is in flight against the victim. After relocation the
+// mapping holds no pointers into the victim, so no new read can
+// resolve into it — the count only drains.
+func (f *FTL) maybeErase() {
+	st := f.gcst
+	if st == nil || !st.relocated || st.eraseIssued {
+		return
+	}
+	if f.blocks[st.victim].reads > 0 {
+		return
+	}
+	st.eraseIssued = true
+	f.eraseVictim(st.victim)
+}
+
+// pumpGC keeps up to GCPipeline relocation transfers in flight, then
+// erases the victim (or aborts the pass).
+func (f *FTL) pumpGC() {
+	st := f.gcst
+	for !st.aborted && st.inflight < f.cfg.GCPipeline && st.next < f.geo.PagesPerBlock {
+		page := st.next
+		st.next++
+		ppn := st.victim*f.geo.PagesPerBlock + page
+		if f.pageState[ppn] != pageValid {
+			continue
+		}
+		st.inflight++
+		f.relocate(ppn)
+	}
+	if st.inflight > 0 {
+		return
+	}
+	if st.aborted {
+		// No room to move the remaining valid pages: the pass made no
+		// net progress and retrying it cannot either (only an erase
+		// creates relocation space). Mark the FTL stalled so the write
+		// that triggered collection fails with ErrNoSpace instead of
+		// looping startGC -> abort forever.
+		f.GCAborts++
+		f.gcStalled = true
 		f.finishGC()
 		return
 	}
-	f.gcActive = true
-	f.gcCount++
-	f.relocateNext(victim, 0)
+	st.relocated = true
+	f.maybeErase()
 }
 
-// relocateNext moves valid pages out of the victim, one at a time, then
-// erases it.
-func (f *FTL) relocateNext(victim, page int) {
-	if page >= f.geo.PagesPerBlock {
-		f.eraseVictim(victim)
-		return
-	}
-	ppn := victim*f.geo.PagesPerBlock + page
-	if f.pageState[ppn] != pageValid {
-		f.relocateNext(victim, page+1)
-		return
-	}
+// relocate copies one valid victim page to a fresh frontier page on
+// the GC tag. The destination is allocated after the copy's read
+// completes, so concurrent relocations still program the GC frontier
+// block strictly in order.
+func (f *FTL) relocate(ppn int) {
+	st := f.gcst
 	lpn := f.p2l[ppn]
-	f.iface.ReadPhysical(f.addrOf(ppn), func(data []byte, err error) {
+	f.io.ReadPage(f.addrOf(ppn), TagGC, func(data []byte, err error) {
 		if err != nil {
 			// Unreadable during GC: drop the mapping (data loss would be
 			// surfaced by ECC in the read path; here the page was
 			// already read once by the host if it mattered).
 			f.invalidate(ppn)
-			if lpn >= 0 {
+			if lpn >= 0 && f.l2p[lpn] == ppn {
 				f.l2p[lpn] = -1
 			}
-			f.relocateNext(victim, page+1)
+			st.inflight--
+			f.pumpGC()
+			return
+		}
+		if lpn < 0 || f.l2p[lpn] != ppn || f.pageState[ppn] != pageValid {
+			// Trimmed while the copy was in flight: drop it.
+			st.inflight--
+			f.pumpGC()
 			return
 		}
 		dst, aerr := f.gcAllocPage()
 		if aerr != nil {
-			// No room to move: abort the GC; the write that triggered
-			// it will fail with ErrNoSpace on retry.
-			f.finishGC()
+			st.aborted = true
+			st.inflight--
+			f.pumpGC()
 			return
 		}
 		f.GCMoves++
-		f.program(dst, data, func(finalPPN int, perr error) {
+		f.program(dst, data, TagGC, func(finalPPN int, perr error) {
+			st.inflight--
 			if perr != nil {
-				f.finishGC()
+				st.aborted = true
+				f.pumpGC()
 				return
 			}
-			f.invalidate(ppn)
-			f.l2p[lpn] = finalPPN
-			f.p2l[finalPPN] = lpn
-			f.pageState[finalPPN] = pageValid
-			f.blocks[f.blockOf(finalPPN)].valid++
-			f.relocateNext(victim, page+1)
+			if f.l2p[lpn] == ppn && f.pageState[ppn] == pageValid {
+				f.invalidate(ppn)
+				f.l2p[lpn] = finalPPN
+				f.p2l[finalPPN] = lpn
+				f.pageState[finalPPN] = pageValid
+				f.blocks[f.blockOf(finalPPN)].valid++
+			} else {
+				// Trimmed mid-copy: the fresh page holds garbage.
+				f.pageState[finalPPN] = pageInvalid
+			}
+			f.pumpGC()
 		})
 	})
 }
 
-// gcAllocPage allocates a relocation target without recursing into GC.
+// gcAllocPage allocates a relocation target on the GC frontier without
+// recursing into GC.
 func (f *FTL) gcAllocPage() (int, error) {
 	for {
-		if f.active >= 0 {
-			b := &f.blocks[f.active]
+		if blk, ok := f.actives[TagGC]; ok {
+			b := &f.blocks[blk]
 			if !b.bad && b.written < f.geo.PagesPerBlock {
-				ppn := f.active*f.geo.PagesPerBlock + b.written
+				ppn := blk*f.geo.PagesPerBlock + b.written
 				b.written++
 				return ppn, nil
 			}
 			b.isActive = false
-			f.active = -1
+			delete(f.actives, TagGC)
 		}
 		if len(f.freePool) == 0 {
 			return 0, ErrNoSpace
 		}
-		f.active = f.popLeastWorn()
-		ab := &f.blocks[f.active]
+		blk := f.popLeastWorn()
+		f.actives[TagGC] = blk
+		ab := &f.blocks[blk]
 		ab.isActive = true
 		ab.written = 0
 		ab.valid = 0
@@ -458,7 +780,7 @@ func (f *FTL) gcAllocPage() (int, error) {
 
 func (f *FTL) eraseVictim(victim int) {
 	f.FlashErases++
-	f.iface.Erase(f.blockAddr(victim), func(err error) {
+	f.io.EraseBlock(f.blockAddr(victim), TagGC, func(err error) {
 		bi := &f.blocks[victim]
 		if err != nil {
 			f.retireBlock(victim)
@@ -471,7 +793,10 @@ func (f *FTL) eraseVictim(victim int) {
 				f.pageState[base+p] = pageFree
 				f.p2l[base+p] = -1
 			}
-			f.freePool = append(f.freePool, victim)
+			// Fresh erased space: a previously stalled FTL can make
+			// progress again.
+			f.gcStalled = false
+			f.pushFree(victim)
 		}
 		f.finishGC()
 	})
@@ -480,6 +805,11 @@ func (f *FTL) eraseVictim(victim int) {
 // finishGC drains operations queued while collecting.
 func (f *FTL) finishGC() {
 	f.gcActive = false
+	f.gcRunning = false
+	f.gcst = nil
+	if f.hooks.GCEnd != nil {
+		f.hooks.GCEnd()
+	}
 	ops := f.pendingOps
 	f.pendingOps = nil
 	for _, op := range ops {

@@ -47,14 +47,19 @@ var (
 // Class is a stream's QoS class. Lower values dispatch first.
 type Class uint8
 
-// The three QoS classes. Realtime is for latency-critical point
+// The four QoS classes. Realtime is for latency-critical point
 // lookups, Interactive for ordinary user queries, Batch for scans and
-// bulk loads that only care about throughput.
+// bulk loads that only care about throughput. Background is device
+// housekeeping — FTL garbage-collection relocation and erase traffic
+// from internal/volume — and is subject to GC-aware deferral: it may
+// occupy only an urgency-scaled share of the device window (the GC
+// token budget) so foreground tail latency survives collections.
 const (
 	Realtime Class = iota
 	Interactive
 	Batch
-	NumClasses = 3
+	Background
+	NumClasses = 4
 )
 
 func (c Class) String() string {
@@ -65,6 +70,8 @@ func (c Class) String() string {
 		return "interactive"
 	case Batch:
 		return "batch"
+	case Background:
+		return "background"
 	default:
 		return fmt.Sprintf("class(%d)", uint8(c))
 	}
@@ -91,6 +98,16 @@ type Config struct {
 	// Coalesce merges queued duplicate reads to the same page into a
 	// single flash operation.
 	Coalesce bool
+	// GCDefer enables GC-aware dispatch of the Background class: each
+	// node gets a token budget of device-window slots Background
+	// requests may occupy, scaled by the node's GC urgency (reported
+	// by the FTLs through SetGCUrgency). At zero urgency relocation
+	// trickles one op at a time; as free-block headroom shrinks the
+	// budget grows, and at critical urgency Background dispatches
+	// unthrottled (host writes are about to stall anyway). False is
+	// GC-oblivious dispatch: Background is just a fourth priority
+	// class and a collection may flood the whole device window.
+	GCDefer bool
 }
 
 // DefaultConfig returns the production configuration: deep admission
@@ -102,8 +119,15 @@ func DefaultConfig() Config {
 		BatchSize:   16,
 		AgingRounds: 8,
 		Coalesce:    true,
+		GCDefer:     true,
 	}
 }
+
+// gcCriticalUrgency is the urgency at which Background dispatch stops
+// being throttled entirely: the free pool is nearly dry and deferring
+// relocation further only converts read tail latency into a full
+// write stall.
+const gcCriticalUrgency = 0.875
 
 func (c Config) validate() error {
 	if c.QueueDepth <= 0 {
@@ -129,6 +153,7 @@ type request struct {
 	statClass Class
 	addr      core.PageAddr
 	write     bool
+	erase     bool
 	data      []byte
 	rcb       func(data []byte, err error)
 	wcb       func(err error)
@@ -203,6 +228,32 @@ func (s *Scheduler) QueueLen(node int) int { return s.nodes[node].qlen }
 // outstanding at its device.
 func (s *Scheduler) Inflight(node int) int { return s.nodes[node].inflight }
 
+// SetGCUrgency reports how badly a node's FTLs need their Background
+// relocation work to run, from 0 (plenty of free-block headroom) to 1
+// (writes about to stall). The volume layer calls this from the FTL
+// urgency hooks; the dispatcher scales the node's GC token budget with
+// it. Raising urgency may unblock deferred Background work, so a
+// dispatch round is kicked.
+func (s *Scheduler) SetGCUrgency(node int, u float64) {
+	if node < 0 || node >= len(s.nodes) {
+		return
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	nq := s.nodes[node]
+	if u != nq.gcUrgency {
+		nq.gcUrgency = u
+		nq.kick()
+	}
+}
+
+// GCUrgency returns a node's current urgency setting.
+func (s *Scheduler) GCUrgency(node int) float64 { return s.nodes[node].gcUrgency }
+
 // nodeQueue is the per-node admission and dispatch state.
 type nodeQueue struct {
 	s    *Scheduler
@@ -214,7 +265,11 @@ type nodeQueue struct {
 	starve [NumClasses]int
 
 	inflight int
-	kicked   bool
+	// bgInflight counts Background-class requests in the device
+	// window; the GC token budget caps it.
+	bgInflight int
+	gcUrgency  float64
+	kicked     bool
 	// ringing is true while a doorbell's software work occupies the
 	// node's submission thread. The thread is serial, so ringing a
 	// second doorbell early would only commit queued requests to a
@@ -235,7 +290,7 @@ func newNodeQueue(s *Scheduler, node *core.Node) *nodeQueue {
 // admit enqueues a request or reports backpressure. Coalesced reads
 // piggyback on an already-queued read and consume no queue slot.
 func (nq *nodeQueue) admit(r *request) error {
-	if !r.write && nq.s.cfg.Coalesce {
+	if !r.write && !r.erase && nq.s.cfg.Coalesce {
 		if lead, ok := nq.pendingReads[r.addr]; ok {
 			lead.followers = append(lead.followers, r)
 			nq.s.stats.class(r.statClass).coalesced++
@@ -269,7 +324,7 @@ func (nq *nodeQueue) admit(r *request) error {
 	if nq.qlen > nq.peak {
 		nq.peak = nq.qlen
 	}
-	if !r.write && nq.s.cfg.Coalesce {
+	if !r.write && !r.erase && nq.s.cfg.Coalesce {
 		nq.pendingReads[r.addr] = r
 	}
 	nq.kick()
@@ -311,20 +366,37 @@ func (nq *nodeQueue) dispatch() {
 
 	var batch []*request
 	var took [NumClasses]int
+	bgTaken := 0
 	// Aging pass: any class starved for AgingRounds consecutive
 	// rounds gets one guaranteed slot, lowest priority first so the
 	// most starved traffic is served before the escape hatch fills.
+	// Background's escape slot still honours the GC token budget: a
+	// zero budget means relocation work is already in flight, so the
+	// class is making progress, not starving.
 	for cl := NumClasses - 1; cl >= 0 && len(batch) < budget; cl-- {
 		if nq.starve[cl] >= nq.s.cfg.AgingRounds && len(nq.q[cl]) > 0 {
+			if Class(cl) == Background && nq.gcTokens(bgTaken) == 0 {
+				continue
+			}
 			batch = append(batch, nq.pop(Class(cl)))
 			took[cl]++
+			if Class(cl) == Background {
+				bgTaken++
+			}
 		}
 	}
-	// Strict priority for the remaining slots.
+	// Strict priority for the remaining slots. Background fills last
+	// and only up to the node's GC token budget.
 	for cl := Class(0); cl < NumClasses && len(batch) < budget; cl++ {
 		for len(nq.q[cl]) > 0 && len(batch) < budget {
+			if cl == Background && nq.gcTokens(bgTaken) == 0 {
+				break
+			}
 			batch = append(batch, nq.pop(cl))
 			took[cl]++
+			if cl == Background {
+				bgTaken++
+			}
 		}
 	}
 	for cl := 0; cl < NumClasses; cl++ {
@@ -336,7 +408,14 @@ func (nq *nodeQueue) dispatch() {
 		}
 	}
 
+	if len(batch) == 0 {
+		// Only Background work is queued and its token budget is spent:
+		// the in-flight relocation ops will kick a new round when they
+		// complete (or SetGCUrgency raises the budget).
+		return
+	}
 	nq.inflight += len(batch)
+	nq.bgInflight += bgTaken
 	nq.ringing = true
 	nq.s.stats.batches++
 	nq.s.stats.batchedReqs += int64(len(batch))
@@ -344,10 +423,12 @@ func (nq *nodeQueue) dispatch() {
 	for i, r := range batch {
 		r := r
 		reqs[i] = core.HostReq{
-			Addr:  r.addr,
-			Write: r.write,
-			Data:  r.data,
-			Done:  func(data []byte, err error) { nq.complete(r, data, err) },
+			Addr:       r.addr,
+			Write:      r.write,
+			Erase:      r.erase,
+			Background: r.class == Background,
+			Data:       r.data,
+			Done:       func(data []byte, err error) { nq.complete(r, data, err) },
 		}
 	}
 	nq.node.SubmitHostBatch(reqs, func() {
@@ -385,9 +466,33 @@ func (nq *nodeQueue) pop(cl Class) *request {
 	return r
 }
 
+// gcTokens returns how many more Background requests may join the
+// current batch: the GC token budget. The budget is the share of the
+// device window Background may occupy — one slot at zero urgency,
+// growing linearly with urgency, the full window at critical urgency
+// or under GC-oblivious dispatch.
+func (nq *nodeQueue) gcTokens(taken int) int {
+	mi := nq.s.cfg.MaxInflight
+	cap := mi
+	if nq.s.cfg.GCDefer && nq.gcUrgency < gcCriticalUrgency {
+		// Quadratic in urgency: mild deficits below the FTLs'
+		// low-water marks earn little extra device share; only real
+		// headroom pressure opens the window up.
+		cap = 1 + int(float64(mi-1)*nq.gcUrgency*nq.gcUrgency)
+	}
+	t := cap - nq.bgInflight - taken
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
 // complete finishes a dispatched request and every coalesced follower.
 func (nq *nodeQueue) complete(r *request, data []byte, err error) {
 	nq.inflight--
+	if r.class == Background {
+		nq.bgInflight--
+	}
 	nq.s.finish(r, data, err)
 	for _, f := range r.followers {
 		nq.s.finish(f, data, err)
@@ -400,14 +505,17 @@ func (s *Scheduler) finish(r *request, data []byte, err error) {
 	agg := s.stats.class(r.statClass)
 	agg.ops++
 	agg.lat.AddTime(s.eng.Now() - r.enq)
-	if err != nil {
+	switch {
+	case err != nil:
 		agg.errors++
-	} else if r.write {
+	case r.erase:
+		// no data moved
+	case r.write:
 		agg.bytes += int64(len(r.data))
-	} else {
+	default:
 		agg.bytes += int64(len(data))
 	}
-	if r.write {
+	if r.write || r.erase {
 		r.wcb(err)
 	} else {
 		r.rcb(data, err)

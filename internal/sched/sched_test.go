@@ -39,10 +39,13 @@ func runMix(t *testing.T, cfg sched.Config) (sched.Snapshot, sim.Time) {
 	var specs []workload.StreamSpec
 	for i := 0; i < 12; i++ {
 		specs = append(specs, workload.StreamSpec{
-			Name:    "t",
-			Node:    i % 2,
-			Target:  -1,
-			Class:   sched.Class(i % sched.NumClasses),
+			Name:   "t",
+			Node:   i % 2,
+			Target: -1,
+			// Tenant traffic spans the three foreground classes;
+			// Background is reserved for FTL housekeeping and is
+			// deliberately throttled by the GC token budget.
+			Class:   sched.Class(i % int(sched.Background)),
 			Pattern: workload.Pattern(i % 4),
 			Seed:    uint64(100 + i),
 		})
@@ -399,5 +402,124 @@ func TestStreamErrors(t *testing.T) {
 	}
 	if _, err := sched.New(c, sched.Config{}); err == nil {
 		t.Error("zero config accepted")
+	}
+}
+
+// runBackgroundDrain drives a fixed foreground read load plus nBG
+// Background reads at a pinned GC urgency, and returns the virtual
+// time at which the last Background op completed.
+func runBackgroundDrain(t *testing.T, cfg sched.Config, urgency float64, nBG int) sim.Time {
+	t.Helper()
+	c := testCluster(t, 1, 128)
+	s, err := sched.New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetGCUrgency(0, urgency)
+	fg, err := s.NewStream("fg", 0, sched.Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := s.NewStream("bg", 0, sched.Background)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed-loop foreground: 8 outstanding interactive reads for the
+	// whole run, so the foreground queue is almost never empty.
+	rng := sim.NewRNG(11)
+	fgLeft := 400
+	var issueFG func()
+	issueFG = func() {
+		if fgLeft == 0 {
+			return
+		}
+		fgLeft--
+		if err := fg.Read(core.LinearPage(c.Params, 0, rng.Intn(128)), func(_ []byte, err error) {
+			if err != nil {
+				t.Errorf("fg read: %v", err)
+			}
+			issueFG()
+		}); err != nil {
+			t.Fatalf("fg admit: %v", err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		issueFG()
+	}
+	var lastBG sim.Time
+	bgDone := 0
+	for i := 0; i < nBG; i++ {
+		if err := bg.Read(core.LinearPage(c.Params, 0, i), func(_ []byte, err error) {
+			if err != nil {
+				t.Errorf("bg read: %v", err)
+			}
+			bgDone++
+			lastBG = c.Eng.Now()
+		}); err != nil {
+			t.Fatalf("bg admit: %v", err)
+		}
+	}
+	c.Run()
+	if bgDone != nBG {
+		t.Fatalf("background completed %d/%d: deferral starved it outright", bgDone, nBG)
+	}
+	return lastBG
+}
+
+// TestBackgroundTokenBudget: under a busy foreground, Background work
+// at zero urgency must trickle (deferred to an inflight share of one),
+// drain much faster once urgency is critical, and never starve
+// completely. GC-oblivious dispatch (GCDefer off) must behave like
+// critical urgency.
+func TestBackgroundTokenBudget(t *testing.T) {
+	cfg := sched.DefaultConfig()
+	cfg.MaxInflight = 32
+	cfg.BatchSize = 8
+	tIdle := runBackgroundDrain(t, cfg, 0.0, 64)
+	tCrit := runBackgroundDrain(t, cfg, 1.0, 64)
+	if !(float64(tCrit) < 0.5*float64(tIdle)) {
+		t.Fatalf("urgency escalation did not speed background drain: idle %v, critical %v", tIdle, tCrit)
+	}
+	oblivious := cfg
+	oblivious.GCDefer = false
+	tObl := runBackgroundDrain(t, oblivious, 0.0, 64)
+	if !(float64(tObl) < 0.5*float64(tIdle)) {
+		t.Fatalf("GC-oblivious dispatch should flood like critical urgency: oblivious %v, deferred %v", tObl, tIdle)
+	}
+}
+
+// TestBackgroundErase: erases admitted on a Background stream complete
+// through the batched host path and are never coalesced with reads.
+func TestBackgroundErase(t *testing.T) {
+	c := testCluster(t, 1, 64)
+	s, err := sched.New(c, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := s.NewStream("gc", 0, sched.Background)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Erase a block in the unseeded tail of the card so no seeded data
+	// is touched.
+	addr := core.LinearPage(c.Params, 0, core.PagesPerNode(c.Params)-1)
+	done := false
+	if err := bg.Erase(addr, func(err error) {
+		if err != nil {
+			t.Errorf("erase: %v", err)
+		}
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if !done {
+		t.Fatal("erase never completed")
+	}
+	snap := s.Snapshot()
+	for _, cs := range snap.Classes {
+		if cs.Class == "background" && cs.Ops != 1 {
+			t.Fatalf("background ops = %d, want 1", cs.Ops)
+		}
 	}
 }

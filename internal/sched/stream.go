@@ -80,6 +80,22 @@ func (st *Stream) Write(a core.PageAddr, data []byte, cb func(err error)) error 
 	return nil
 }
 
+// Erase admits a block erase for the block containing a. It is the
+// admission path for FTL garbage-collection erases (normally on a
+// Background-class stream); like writes it is never coalesced and
+// fences nothing — the FTL guarantees no reads target the block.
+func (st *Stream) Erase(a core.PageAddr, cb func(err error)) error {
+	if st.closed {
+		return ErrClosed
+	}
+	r := &request{class: st.class, statClass: st.class, addr: a, erase: true, enq: st.s.eng.Now(), wcb: cb}
+	if err := st.s.nodes[st.node].admit(r); err != nil {
+		return err
+	}
+	st.Submitted++
+	return nil
+}
+
 // Close marks the stream closed; further submissions fail with
 // ErrClosed. In-flight requests still complete.
 func (st *Stream) Close() { st.closed = true }

@@ -1,0 +1,365 @@
+// Package volume is the cluster-wide logical volume of the storage
+// manager (paper §4): the host path's address space. It stripes
+// logical pages across every flash card in the cluster, backs each
+// card with a host-resident FTL (internal/ftl) for mapping, garbage
+// collection, wear leveling and bad-block management, and routes all
+// resulting flash I/O — host data and GC relocation alike — through
+// the request scheduler (internal/sched), so the dispatcher sees and
+// schedules every operation the appliance performs.
+//
+// Layering per card:
+//
+//	volume.Stream (logical page, QoS class)
+//	  -> ftl.FTL (LPN -> physical page, GC serialization)
+//	    -> schedBackend (flash ops -> sched.Stream at the op's class;
+//	       GC traffic on the Background class)
+//	      -> core.Node.SubmitHostBatch (batched doorbells, DMA, flash)
+//
+// GC awareness: each FTL reports collection start/stop and free-block
+// urgency through its hooks; the volume aggregates urgency per node
+// and feeds it to the scheduler, whose Background token budget defers
+// relocation work while latency-class traffic is hot and escalates as
+// headroom shrinks.
+package volume
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/nand"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// ErrOutOfRange reports a logical page beyond the volume.
+var ErrOutOfRange = errors.New("volume: logical page out of range")
+
+// Config tunes the volume.
+type Config struct {
+	// FTL configures every card's translation layer.
+	FTL ftl.Config
+	// RetryDelay is the backoff before re-admitting an op that hit
+	// scheduler backpressure (default 5 µs).
+	RetryDelay sim.Time
+}
+
+// DefaultConfig returns the standard volume configuration.
+func DefaultConfig() Config {
+	return Config{FTL: ftl.DefaultConfig(), RetryDelay: 5 * sim.Microsecond}
+}
+
+// Volume is a logical address space over every card of a cluster.
+type Volume struct {
+	c   *core.Cluster
+	s   *sched.Scheduler
+	cfg Config
+
+	cards   []*card // node-major: node*CardsPerNode + card
+	perCard int     // logical pages per card FTL
+}
+
+// New builds a volume over cluster c, admitting all flash traffic
+// through scheduler s. The scheduler must belong to the same cluster.
+func New(c *core.Cluster, s *sched.Scheduler, cfg Config) (*Volume, error) {
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 5 * sim.Microsecond
+	}
+	v := &Volume{c: c, s: s, cfg: cfg}
+	p := c.Params
+	for n := 0; n < c.Nodes(); n++ {
+		for ci := 0; ci < p.CardsPerNode; ci++ {
+			cd, err := newCard(v, n, ci)
+			if err != nil {
+				return nil, err
+			}
+			v.cards = append(v.cards, cd)
+		}
+	}
+	v.perCard = v.cards[0].f.LogicalPages()
+	return v, nil
+}
+
+// Pages returns the number of logical pages the volume exposes.
+func (v *Volume) Pages() int { return v.perCard * len(v.cards) }
+
+// PageSize returns the volume's page size.
+func (v *Volume) PageSize() int { return v.c.Params.PageSize() }
+
+// locate maps a volume LPN to its card and the card-local LPN.
+// Consecutive volume pages land on consecutive cards (round-robin
+// striping), so sequential logical traffic spreads over every node
+// and card in the cluster.
+func (v *Volume) locate(lpn int) (*card, int) {
+	n := len(v.cards)
+	return v.cards[lpn%n], lpn / n
+}
+
+// Stats aggregates the per-card FTL counters.
+type Stats struct {
+	HostReads     int64   `json:"host_reads"`
+	HostWrites    int64   `json:"host_writes"`
+	FlashPrograms int64   `json:"flash_programs"`
+	FlashErases   int64   `json:"flash_erases"`
+	GCMoves       int64   `json:"gc_moves"`
+	GCAborts      int64   `json:"gc_aborts"`
+	BadBlocks     int64   `json:"bad_blocks"`
+	WriteAmp      float64 `json:"write_amplification"`
+	MinFreeBlocks int     `json:"min_free_blocks"`
+}
+
+// Delta returns the counters accumulated since a prior snapshot, with
+// write amplification recomputed over the window. MinFreeBlocks is a
+// gauge and keeps its current value. Use it to confine measurements
+// to a workload window, excluding seeding and warm-up I/O.
+func (s Stats) Delta(since Stats) Stats {
+	d := Stats{
+		HostReads:     s.HostReads - since.HostReads,
+		HostWrites:    s.HostWrites - since.HostWrites,
+		FlashPrograms: s.FlashPrograms - since.FlashPrograms,
+		FlashErases:   s.FlashErases - since.FlashErases,
+		GCMoves:       s.GCMoves - since.GCMoves,
+		GCAborts:      s.GCAborts - since.GCAborts,
+		BadBlocks:     s.BadBlocks - since.BadBlocks,
+		MinFreeBlocks: s.MinFreeBlocks,
+	}
+	if d.HostWrites > 0 {
+		d.WriteAmp = float64(d.FlashPrograms) / float64(d.HostWrites)
+	}
+	return d
+}
+
+// Stats returns the volume-wide FTL counters.
+func (v *Volume) Stats() Stats {
+	var st Stats
+	st.MinFreeBlocks = -1
+	for _, cd := range v.cards {
+		f := cd.f
+		st.HostReads += f.HostReads
+		st.HostWrites += f.HostWrites
+		st.FlashPrograms += f.FlashPrograms
+		st.FlashErases += f.FlashErases
+		st.GCMoves += f.GCMoves
+		st.GCAborts += f.GCAborts
+		st.BadBlocks += f.BadBlocks
+		if st.MinFreeBlocks < 0 || f.FreeBlocks() < st.MinFreeBlocks {
+			st.MinFreeBlocks = f.FreeBlocks()
+		}
+	}
+	if st.HostWrites > 0 {
+		st.WriteAmp = float64(st.FlashPrograms) / float64(st.HostWrites)
+	}
+	return st
+}
+
+// FTL exposes the translation layer of one card (node-major index),
+// mainly for tests and instrumentation.
+func (v *Volume) FTL(i int) *ftl.FTL { return v.cards[i].f }
+
+// Cards returns the number of card FTLs backing the volume.
+func (v *Volume) Cards() int { return len(v.cards) }
+
+// --- streams ---------------------------------------------------------
+
+// Stream is a client's QoS-classed handle onto the volume. Requests
+// are admitted at the owner node of each page (the FTL driver runs on
+// the node that hosts the flash), so a stream may address the whole
+// logical space.
+type Stream struct {
+	v     *Volume
+	name  string
+	class sched.Class
+}
+
+// NewStream opens a logical stream at the given QoS class. Background
+// is reserved for the volume's own GC traffic.
+func (v *Volume) NewStream(name string, class sched.Class) (*Stream, error) {
+	if class >= sched.Background {
+		return nil, fmt.Errorf("volume: class %v not usable by tenants", class)
+	}
+	return &Stream{v: v, name: name, class: class}, nil
+}
+
+// Class returns the stream's QoS class.
+func (st *Stream) Class() sched.Class { return st.class }
+
+// Read fetches a logical page. The callback fires when the page is in
+// host memory (or failed); scheduler backpressure is absorbed by
+// retrying, so unlike sched.Stream.Read there is no admission error.
+func (st *Stream) Read(lpn int, cb func(data []byte, err error)) {
+	if lpn < 0 || lpn >= st.v.Pages() {
+		cb(nil, fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	cd, clpn := st.v.locate(lpn)
+	cd.f.ReadTagged(clpn, ftl.IOTag(st.class), cb)
+}
+
+// Write stores a logical page. The payload is snapshotted before the
+// call returns.
+func (st *Stream) Write(lpn int, data []byte, cb func(err error)) {
+	if lpn < 0 || lpn >= st.v.Pages() {
+		cb(fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	cd, clpn := st.v.locate(lpn)
+	cd.f.WriteTagged(clpn, data, ftl.IOTag(st.class), cb)
+}
+
+// Trim drops a logical page.
+func (st *Stream) Trim(lpn int) error {
+	if lpn < 0 || lpn >= st.v.Pages() {
+		return fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
+	}
+	cd, clpn := st.v.locate(lpn)
+	return cd.f.Trim(clpn)
+}
+
+// --- per-card FTL plumbing -------------------------------------------
+
+// card owns one flash card's FTL and its scheduler plumbing.
+type card struct {
+	v    *Volume
+	node int
+	idx  int
+	f    *ftl.FTL
+
+	// streams holds one admission stream per QoS class; FTL tags map
+	// onto them (TagGC -> Background).
+	streams [sched.NumClasses]*sched.Stream
+	// wseqs keeps per-tag write admission FIFO: the FTL allocates
+	// frontier pages in issue order and NAND programs blocks in order,
+	// so a backpressured write must stall its tag's later writes, never
+	// let them overtake.
+	wseqs map[ftl.IOTag]*writeSeq
+}
+
+type pendingWrite struct {
+	addr core.PageAddr
+	data []byte
+	cb   func(error)
+}
+
+type writeSeq struct {
+	q       []pendingWrite
+	stalled bool
+}
+
+func newCard(v *Volume, node, idx int) (*card, error) {
+	cd := &card{v: v, node: node, idx: idx, wseqs: make(map[ftl.IOTag]*writeSeq)}
+	for cl := sched.Class(0); cl < sched.NumClasses; cl++ {
+		st, err := v.s.NewStream(fmt.Sprintf("vol-n%d-c%d-%s", node, idx, cl), node, cl)
+		if err != nil {
+			return nil, err
+		}
+		cd.streams[cl] = st
+	}
+	f, err := ftl.NewWithBackend(cd, v.c.Params.Geometry, v.cfg.FTL)
+	if err != nil {
+		return nil, err
+	}
+	cd.f = f
+	f.SetHooks(ftl.Hooks{
+		Urgency: func(float64) { cd.pushUrgency() },
+		GCStart: func() { cd.pushUrgency() },
+		GCEnd:   func() { cd.pushUrgency() },
+	})
+	return cd, nil
+}
+
+// pushUrgency reports the node's worst-card urgency to the scheduler.
+func (cd *card) pushUrgency() {
+	v := cd.v
+	base := cd.node * v.c.Params.CardsPerNode
+	u := 0.0
+	for i := base; i < base+v.c.Params.CardsPerNode && i < len(v.cards); i++ {
+		if cu := v.cards[i].f.Urgency(); cu > u {
+			u = cu
+		}
+	}
+	v.s.SetGCUrgency(cd.node, u)
+}
+
+// classOf maps an FTL traffic tag onto a scheduler class.
+func classOf(tag ftl.IOTag) sched.Class {
+	if tag == ftl.TagGC {
+		return sched.Background
+	}
+	if tag >= ftl.IOTag(sched.NumClasses) {
+		return sched.Batch
+	}
+	return sched.Class(tag)
+}
+
+func (cd *card) pageAddr(a nand.Addr) core.PageAddr {
+	return core.PageAddr{Node: cd.node, Card: cd.idx, Addr: a}
+}
+
+// admitRetrying runs admit, retrying on scheduler backpressure after
+// RetryDelay; any other admission error goes to fail.
+func (cd *card) admitRetrying(admit func() error, fail func(error)) {
+	var try func()
+	try = func() {
+		err := admit()
+		if err == sched.ErrBackpressure {
+			cd.v.c.Eng.After(cd.v.cfg.RetryDelay, try)
+		} else if err != nil {
+			fail(err)
+		}
+	}
+	try()
+}
+
+// ReadPage admits a physical read at the tag's QoS class, retrying on
+// backpressure (reads have no ordering constraint).
+func (cd *card) ReadPage(a nand.Addr, tag ftl.IOTag, cb func([]byte, error)) {
+	st := cd.streams[classOf(tag)]
+	addr := cd.pageAddr(a)
+	cd.admitRetrying(
+		func() error { return st.Read(addr, cb) },
+		func(err error) { cb(nil, err) })
+}
+
+// WritePage admits a physical program through the tag's FIFO
+// sequencer: strictly in issue order, stalling (not reordering) on
+// backpressure.
+func (cd *card) WritePage(a nand.Addr, data []byte, tag ftl.IOTag, cb func(error)) {
+	sq := cd.wseqs[tag]
+	if sq == nil {
+		sq = &writeSeq{}
+		cd.wseqs[tag] = sq
+	}
+	sq.q = append(sq.q, pendingWrite{addr: cd.pageAddr(a), data: data, cb: cb})
+	cd.pumpWrites(tag, sq)
+}
+
+func (cd *card) pumpWrites(tag ftl.IOTag, sq *writeSeq) {
+	st := cd.streams[classOf(tag)]
+	for !sq.stalled && len(sq.q) > 0 {
+		w := sq.q[0]
+		err := st.Write(w.addr, w.data, w.cb)
+		if err == sched.ErrBackpressure {
+			sq.stalled = true
+			cd.v.c.Eng.After(cd.v.cfg.RetryDelay, func() {
+				sq.stalled = false
+				cd.pumpWrites(tag, sq)
+			})
+			return
+		}
+		sq.q[0] = pendingWrite{}
+		sq.q = sq.q[1:]
+		if err != nil {
+			w.cb(err)
+		}
+	}
+}
+
+// EraseBlock admits a block erase at the tag's class (GC traffic in
+// practice), retrying on backpressure. The FTL only erases after every
+// relocation write completed, so no ordering hazard exists.
+func (cd *card) EraseBlock(a nand.Addr, tag ftl.IOTag, cb func(error)) {
+	st := cd.streams[classOf(tag)]
+	addr := cd.pageAddr(a)
+	cd.admitRetrying(func() error { return st.Erase(addr, cb) }, cb)
+}

@@ -1,0 +1,198 @@
+package workload
+
+// Volume-level traffic generators: the logical-address counterpart of
+// the physical multi-stream drivers in streams.go. These drive a
+// volume.Volume, so writes are overwrites of live logical pages —
+// write churn — which is what invalidates flash pages and forces the
+// FTLs into steady-state garbage collection. That makes them the
+// traffic side of the GC-isolation experiments: latency-class point
+// readers sharing the appliance with churning writers while GC runs
+// underneath.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/volume"
+)
+
+// VolumeStreamSpec describes one tenant stream against a volume.
+type VolumeStreamSpec struct {
+	Name  string
+	Class sched.Class
+	// WriteFraction is the probability a request overwrites a page
+	// (uniformly in the working set); the rest are point reads. 1.0 is
+	// a pure churn writer, 0 a pure reader.
+	WriteFraction float64
+	// Pages bounds the stream's working set to [0, Pages) of the
+	// volume's logical space; 0 means the whole volume.
+	Pages int
+	// Requests overrides the driver's per-stream completion count
+	// (0 = use the driver default). -1 marks a probe stream: it keeps
+	// issuing until every non-probe stream has finished, then stops —
+	// the standard shape for latency probes that must stay live for
+	// exactly the contention window.
+	Requests int
+	// Depth overrides the driver's per-stream outstanding window
+	// (0 = use the driver default). Latency probes usually want 1.
+	Depth int
+	// ThinkTime, when non-zero, is the mean of an exponential pause
+	// between a completion and the next request: a sparse open-ish
+	// arrival process instead of a saturating closed loop.
+	ThinkTime sim.Time
+	Seed      uint64
+}
+
+// SeedVolume writes pages [0, pages) of the volume through a
+// Batch-class stream, keeping `depth` writes outstanding. It is the
+// standard setup step before a churn run (content is deterministic in
+// seed).
+func SeedVolume(v *volume.Volume, c *core.Cluster, pages, depth int, seed uint64) error {
+	if pages <= 0 || pages > v.Pages() {
+		return fmt.Errorf("workload: seeding %d pages of a %d-page volume", pages, v.Pages())
+	}
+	if depth <= 0 {
+		depth = 32
+	}
+	st, err := v.NewStream("seed", sched.Batch)
+	if err != nil {
+		return err
+	}
+	gen := RandomPages(seed)
+	var firstErr error
+	next := 0
+	var issue func()
+	issue = func() {
+		if next >= pages {
+			return
+		}
+		idx := next
+		next++
+		buf := make([]byte, v.PageSize())
+		gen(idx, buf)
+		st.Write(idx, buf, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("seed page %d: %w", idx, err)
+			}
+			issue()
+		})
+	}
+	for i := 0; i < depth && i < pages; i++ {
+		issue()
+	}
+	c.Run()
+	return firstErr
+}
+
+// RunVolumeClosedLoop drives every spec as a closed-loop client
+// holding `depth` requests outstanding until `requests` complete per
+// stream (probe streams — Requests=-1 — until all others finish),
+// then drains. Volume streams absorb scheduler backpressure
+// internally, so unlike the physical drivers there are no retry
+// events to count — overload shows up as latency.
+func RunVolumeClosedLoop(v *volume.Volume, c *core.Cluster, specs []VolumeStreamSpec,
+	depth, requests int) (LoopResult, error) {
+	if depth <= 0 || requests <= 0 {
+		return LoopResult{}, fmt.Errorf("workload: depth %d, requests %d", depth, requests)
+	}
+	var res LoopResult
+	primaries := 0
+	for _, sp := range specs {
+		if sp.Requests >= 0 {
+			primaries++
+		}
+	}
+	if primaries == 0 {
+		return LoopResult{}, fmt.Errorf("workload: all %d streams are probes; nothing bounds the run", len(specs))
+	}
+	primariesLeft := primaries
+	for i, sp := range specs {
+		pages := sp.Pages
+		if pages == 0 {
+			pages = v.Pages()
+		}
+		if pages < 0 || pages > v.Pages() {
+			return LoopResult{}, fmt.Errorf("workload: spec %d: working set %d out of range", i, pages)
+		}
+		st, err := v.NewStream(sp.Name, sp.Class)
+		if err != nil {
+			return LoopResult{}, fmt.Errorf("workload: spec %d: %w", i, err)
+		}
+		rng := sim.NewRNG(sp.Seed ^ 0xc0ffee11)
+		page := make([]byte, v.PageSize())
+		rng.Bytes(page)
+		probe := sp.Requests < 0
+		toIssue := requests
+		if sp.Requests > 0 {
+			toIssue = sp.Requests
+		}
+		myDepth := depth
+		if sp.Depth > 0 {
+			myDepth = sp.Depth
+		}
+		think := func() sim.Time {
+			// Exponential pause with mean ThinkTime; minimum 1 ns so
+			// the event queue always advances.
+			ns := -math.Log(1-rng.Float64()) * float64(sp.ThinkTime)
+			if ns < 1 {
+				ns = 1
+			}
+			return sim.Time(ns)
+		}
+		inflight := 0
+		finished := false
+		var issueOne func()
+		complete := func(err error) {
+			inflight--
+			res.Completed++
+			if err != nil {
+				res.Errors++
+			}
+			if !probe && !finished && toIssue == 0 && inflight == 0 {
+				finished = true
+				primariesLeft--
+			}
+			if sp.ThinkTime > 0 {
+				c.Eng.After(think(), issueOne)
+			} else {
+				issueOne()
+			}
+		}
+		issueOne = func() {
+			for inflight < myDepth {
+				if probe {
+					// Probes stay live only for the contention window.
+					if primariesLeft == 0 {
+						return
+					}
+				} else if toIssue == 0 {
+					return
+				} else {
+					toIssue--
+				}
+				inflight++
+				lpn := rng.Intn(pages)
+				if rng.Float64() < sp.WriteFraction {
+					st.Write(lpn, page, complete)
+				} else {
+					st.Read(lpn, func(_ []byte, err error) { complete(err) })
+				}
+				if sp.ThinkTime > 0 {
+					return // one at a time; the pause paces the rest
+				}
+			}
+		}
+		if sp.ThinkTime > 0 {
+			for i := 0; i < myDepth; i++ {
+				c.Eng.After(think(), issueOne)
+			}
+		} else {
+			issueOne()
+		}
+	}
+	c.Run()
+	return res, nil
+}

@@ -217,17 +217,25 @@ func newDriver(s *sched.Scheduler, c *core.Cluster, specs []StreamSpec, readPage
 	// block in the stripe, so any multiple is block-aligned.
 	blockSpan := p.Geometry.Buses * p.Geometry.ChipsPerBus * p.CardsPerNode * p.Geometry.PagesPerBlock
 	base := ((readPages + blockSpan - 1) / blockSpan) * blockSpan
-	per := ((core.PagesPerNode(p) - base) / sched.NumClasses / blockSpan) * blockSpan
+	// Append regions are dealt to the tenant classes only: Background
+	// is reserved for FTL housekeeping and never writes through these
+	// drivers, so partitioning over NumClasses would dead-reserve a
+	// quarter of every node's writable pages.
+	tenantClasses := int(sched.Background)
+	per := ((core.PagesPerNode(p) - base) / tenantClasses / blockSpan) * blockSpan
 	d := &driver{
 		s: s, c: c, readPages: readPages, retryDelay: retryDelay,
 		regions: make([][sched.NumClasses]appendRegion, c.Nodes()),
 		seqs:    make([][sched.NumClasses]writeSeq, c.Nodes()),
 	}
 	for n := range d.regions {
-		for cl := 0; cl < sched.NumClasses; cl++ {
+		for cl := 0; cl < tenantClasses; cl++ {
 			start := base + cl*per
 			d.regions[n][cl] = appendRegion{next: start, limit: start + per}
 		}
+		// Background keeps an empty region: a (misconfigured) spec
+		// writing at that class falls back to reads, counted in
+		// WriteFallbacks, instead of violating NAND ordering.
 	}
 	for i, sp := range specs {
 		if sp.Node < 0 || sp.Node >= c.Nodes() {
