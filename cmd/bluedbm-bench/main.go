@@ -11,6 +11,8 @@
 //	                               # scheduler smoke run, JSON metrics
 //	bluedbm-bench -run gc -json BENCH_GC.json
 //	                               # GC-aware vs GC-oblivious QoS comparison
+//	bluedbm-bench -run isp -json BENCH_ISP.json
+//	                               # distributed ISP-F vs host-mediated + QoS
 //	bluedbm-bench -list            # list experiment ids
 package main
 
@@ -80,10 +82,28 @@ func gcRunner(short bool, jsonPath string) func() (string, error) {
 	}
 }
 
+// ispRunner drives the ISP-contention experiment: distributed
+// in-store search queries sharing the appliance with 32 host streams,
+// compared across no-ISP / scheduler-bypass / Accel-admitted /
+// host-mediated arms.
+func ispRunner(short bool, jsonPath string) func() (string, error) {
+	return func() (string, error) {
+		res, err := experiments.ISPContention(experiments.DefaultISPContention(short))
+		if err != nil {
+			return "", err
+		}
+		if err := writeJSON(jsonPath, res); err != nil {
+			return "", err
+		}
+		return experiments.FormatISPContention(res), nil
+	}
+}
+
 func allRunners(short bool, jsonPath string) []runner {
 	return []runner{
 		{"sched", "multi-stream scheduler: QoS latency and batched-submission throughput", true, schedRunner(short, jsonPath)},
 		{"gc", "logical volume + FTL garbage collection: GC-aware vs GC-oblivious realtime p99", true, gcRunner(short, jsonPath)},
+		{"isp", "distributed in-store processing: ISP-F vs host-mediated throughput + realtime p99 under contention", true, ispRunner(short, jsonPath)},
 		{"table1", "Artix-7 flash controller resources", false, func() (string, error) {
 			return experiments.FormatTable1(8), nil
 		}},
@@ -206,7 +226,7 @@ func main() {
 			}
 		}
 		if jsonRunners > 1 {
-			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched and gc experiments separately")
+			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched, gc and isp experiments separately")
 			os.Exit(2)
 		}
 	}

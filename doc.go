@@ -7,11 +7,48 @@
 // real implementations of the software stack (page-mapped FTL,
 // RFS-style flash file system) and the in-store accelerators (LSH
 // nearest-neighbor, distributed graph traversal, Morris-Pratt string
-// search).
+// search, predicate-pushdown table scan).
+//
+// Package map, bottom up:
+//
+//	internal/sim          event engine, pipes, token pools, RNG, tallies
+//	internal/nand         raw NAND cards: buses, chips, blocks, pages
+//	internal/ecc          SEC-DED Hamming codes over every page
+//	internal/flashctl     tagged flash controller (paper §3.1.1)
+//	internal/flashserver  flash server: in-order interfaces, ATU (§3.1.2)
+//	internal/fabric       integrated storage network (§3.2)
+//	internal/hostif       PCIe host interface: DMA, RPC, interrupts (§3.3)
+//	internal/hostmodel    host Xeon: cores, threads, DRAM bandwidth
+//	internal/core         the assembled appliance: nodes, global address
+//	                      space, Fig. 12 access paths, batched submission
+//	internal/sched        multi-tenant QoS request scheduler: admission,
+//	                      batching, coalescing; Accel class + token budget
+//	                      for in-store processor reads, Background class +
+//	                      GC token budget for FTL housekeeping
+//	internal/ftl          page-mapped FTL: mapping, GC, wear leveling
+//	internal/volume       cluster-wide logical volume over per-card FTLs;
+//	                      physical-address queries (Locate/PhysMap)
+//	internal/rfs          RFS-style flash file system (§4)
+//	internal/blockfs      block file system over the FTL
+//	internal/altstore     comparator devices (SSD/HDD models)
+//	internal/isp          in-store processor framework + FIFO unit scheduler
+//	internal/accel/...    the accelerators: lsh, graph, search, tablescan,
+//	                      mapreduce, spmv
+//	internal/ispvol       distributed in-store processing over
+//	                      volume+sched+fabric: per-node engines admitted at
+//	                      the Accel class, fan-out/merge queries
+//	internal/workload     deterministic generators and traffic drivers
+//	internal/experiments  the paper's tables and figures + the sched/gc/isp
+//	                      benchmark experiments
+//	internal/report       observability
+//	internal/fpga         FPGA resource models (Tables 1-2)
+//	internal/power        node power model (Table 3)
 //
 // Start with examples/quickstart, then see DESIGN.md for the system
 // inventory and EXPERIMENTS.md for measured-vs-paper results. The
 // bench harness in bench_test.go regenerates every table and figure of
 // the paper's evaluation; cmd/bluedbm-bench does the same from the
-// command line.
+// command line, including the beyond-the-paper experiments (-run
+// sched, -run gc, -run isp) whose committed artifacts are
+// BENCH_SCHED.json, BENCH_GC.json and BENCH_ISP.json.
 package repro

@@ -291,3 +291,58 @@ func TestSearchSoftwareHDDSlow(t *testing.T) {
 		t.Fatalf("software-on-HDD CPU %.0f%%, want low (~13%%)", res.CPUUtil*100)
 	}
 }
+
+// TestEdgeBytesAndJunctions: the distributed-scan residue helpers
+// find exactly the boundary-straddling matches, and nothing else.
+func TestEdgeBytesAndJunctions(t *testing.T) {
+	pat, err := Compile([]byte("abcde"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.EdgeLen() != 4 {
+		t.Fatalf("edge len %d, want 4", pat.EdgeLen())
+	}
+	left := []byte("xxxxxxabc")  // needle starts 3 bytes before the boundary
+	right := []byte("dexxxxxxx") // and ends 2 bytes after it
+	_, tail := pat.EdgeBytes(left)
+	head, _ := pat.EdgeBytes(right)
+	const boundary = int64(9)
+	got := pat.JunctionMatches(tail, head, boundary)
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("junction matches = %v, want [6]", got)
+	}
+	// A match fully inside the left page must NOT be reported by the
+	// junction pass (the page's engine already found it).
+	leftFull := []byte("xabcdexxx")
+	_, tail2 := pat.EdgeBytes(leftFull)
+	if got := pat.JunctionMatches(tail2, head, boundary); len(got) != 0 {
+		t.Fatalf("junction reported in-page match: %v", got)
+	}
+	// A match starting exactly at the boundary belongs to the right
+	// page's engine.
+	rightFull := []byte("abcdexxxx")
+	head3, _ := pat.EdgeBytes(rightFull)
+	empty := []byte("xxxxxxxxx")
+	_, tail3 := pat.EdgeBytes(empty)
+	if got := pat.JunctionMatches(tail3, head3, boundary); len(got) != 0 {
+		t.Fatalf("junction reported right-page match: %v", got)
+	}
+}
+
+// TestJunctionSingleByteNeedle: a 1-byte needle cannot straddle.
+func TestJunctionSingleByteNeedle(t *testing.T) {
+	pat, err := Compile([]byte("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.EdgeLen() != 0 {
+		t.Fatalf("edge len %d, want 0", pat.EdgeLen())
+	}
+	h, tl := pat.EdgeBytes([]byte("qqq"))
+	if h != nil || tl != nil {
+		t.Fatal("1-byte needle produced residues")
+	}
+	if got := pat.JunctionMatches([]byte("q"), []byte("q"), 10); got != nil {
+		t.Fatalf("1-byte junction matches = %v", got)
+	}
+}

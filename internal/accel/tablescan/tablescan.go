@@ -148,8 +148,32 @@ type Result struct {
 	CPUUtil     float64
 }
 
-// hostFilterCPUPerRow is the software predicate-evaluation cost.
-const hostFilterCPUPerRow = 60 * sim.Nanosecond
+// HostFilterCPUPerRow is the software predicate-evaluation cost per
+// record, charged by the host-mediated scan paths (ScanHost here and
+// the distributed host-mediated arm in internal/ispvol).
+const HostFilterCPUPerRow = 60 * sim.Nanosecond
+
+// FilterPage decodes one record page and applies pred: the kernel an
+// in-store filter engine evaluates at line rate, shared by the
+// single-node ScanISP engines and the distributed ispvol engines.
+// It returns the matching records and the number of rows scanned. An
+// undecodable page is an error; a record the predicate cannot
+// evaluate (malformed Op/Col) is skipped but still counted as
+// scanned, like a hardware filter dropping a row it cannot parse —
+// one bad row must not discard the rest of the page.
+func FilterPage(page []byte, pred Predicate) (matches []Record, rows int64, err error) {
+	recs, err := DecodeRecords(page)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, r := range recs {
+		rows++
+		if ok, perr := pred.Eval(r); perr == nil && ok {
+			matches = append(matches, r)
+		}
+	}
+	return matches, rows, nil
+}
 
 // ScanISP pushes the predicate into the storage device: in-store
 // engines stream the table's pages from flash, filter at line rate,
@@ -181,16 +205,10 @@ func ScanISP(c *core.Cluster, nodeID int, pages []core.PageAddr, pred Predicate)
 				inflight++
 				node.ISPRead(pages[i], func(data []byte, err error) {
 					if err == nil {
-						recs, derr := DecodeRecords(data)
-						if derr == nil {
-							for _, r := range recs {
-								res.Rows++
-								ok, perr := pred.Eval(r)
-								if perr == nil && ok {
-									res.Matches = append(res.Matches, r)
-									res.BytesToHost += RecordSize
-								}
-							}
+						if m, rows, derr := FilterPage(data, pred); derr == nil {
+							res.Rows += rows
+							res.Matches = append(res.Matches, m...)
+							res.BytesToHost += int64(len(m)) * RecordSize
 						}
 					}
 					inflight--
@@ -240,7 +258,7 @@ func ScanHost(c *core.Cluster, nodeID int, pages []core.PageAddr, pred Predicate
 	remaining := 0
 	start := c.Eng.Now()
 	rowsPerPage := RecordsPerPage(c.Params.PageSize())
-	pageCost := sim.Time(rowsPerPage) * hostFilterCPUPerRow
+	pageCost := sim.Time(rowsPerPage) * HostFilterCPUPerRow
 
 	for w := 0; w < threads; w++ {
 		th := node.CPU.NewThread()
@@ -264,15 +282,9 @@ func ScanHost(c *core.Cluster, nodeID int, pages []core.PageAddr, pred Predicate
 					node.Host.ReleaseReadBuffer(buf)
 					res.BytesToHost += int64(len(data))
 					th.Do(pageCost, func() {
-						recs, derr := DecodeRecords(data)
-						if derr == nil {
-							for _, r := range recs {
-								res.Rows++
-								ok, perr := pred.Eval(r)
-								if perr == nil && ok {
-									res.Matches = append(res.Matches, r)
-								}
-							}
+						if m, rows, derr := FilterPage(data, pred); derr == nil {
+							res.Rows += rows
+							res.Matches = append(res.Matches, m...)
 						}
 						step()
 					})

@@ -19,13 +19,19 @@ type Cluster struct {
 	Net    *fabric.Network
 	nodes  []*Node
 
-	hops   [][]int // precomputed hop distances
-	router HostRouter
+	hops        [][]int // precomputed hop distances
+	router      HostRouter
+	accelRouter AccelRouter
 }
 
 // SetHostRouter installs (or, with nil, removes) the scheduler hook
 // that admits host traffic. See HostRouter and Node.HostRead.
 func (c *Cluster) SetHostRouter(r HostRouter) { c.router = r }
+
+// SetAccelRouter installs (or, with nil, removes) the scheduler hook
+// that admits in-store processor reads. See AccelRouter and
+// Node.ISPRead.
+func (c *Cluster) SetAccelRouter(r AccelRouter) { c.accelRouter = r }
 
 // NewCluster builds and wires the whole appliance.
 func NewCluster(p Params) (*Cluster, error) {
@@ -108,6 +114,12 @@ func (c *Cluster) buildNode(i int) (*Node, error) {
 		n.splitters = append(n.splitters, sp)
 		n.servers = append(n.servers, srv)
 		n.ispIfaces = append(n.ispIfaces, srv.NewIface(name+"/isp"))
+		lanes := make([]*flashserver.Iface, ISPReadLanes)
+		for l := range lanes {
+			lanes[l] = srv.NewIface(fmt.Sprintf("%s/isp-rd%d", name, l))
+		}
+		n.ispReadIfaces = append(n.ispReadIfaces, lanes)
+		n.ispReadRR = append(n.ispReadRR, 0)
 		n.hostIfaces = append(n.hostIfaces, srv.NewIface(name+"/host"))
 		n.bgIfaces = append(n.bgIfaces, srv.NewIface(name+"/host-bg"))
 	}

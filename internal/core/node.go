@@ -26,6 +26,17 @@ const (
 	EPUser      = 8          // first endpoint index free for applications
 )
 
+// ISPReadLanes is the number of parallel read channels each card
+// offers its in-store processors. A flashserver interface delivers
+// responses in FIFO request order, so one shared channel would
+// head-of-line-block every ISP read behind whichever chip happens to
+// be busiest; striping reads over independent channels models the
+// tag-based flash controller completing reads out of order — the
+// paper's "4 read commands can saturate a single flash bus" sizing
+// (§7.3). Writes and erases keep the single in-order channel: NAND
+// programs blocks strictly in page order.
+const ISPReadLanes = 4
+
 // AccessPath selects how a remote page is fetched (paper §6.4).
 type AccessPath int
 
@@ -99,9 +110,14 @@ type Node struct {
 	// collection): an interface delivers responses in FIFO request
 	// order, so a 3 ms block erase sharing the latency path's
 	// interface would head-of-line-block every read behind it.
-	ispIfaces  []*flashserver.Iface
-	hostIfaces []*flashserver.Iface
-	bgIfaces   []*flashserver.Iface
+	// ispReadIfaces stripe ISP reads over ISPReadLanes channels per
+	// card (ispIfaces keep the single in-order channel for ISP writes
+	// and erases).
+	ispIfaces     []*flashserver.Iface
+	ispReadIfaces [][]*flashserver.Iface
+	ispReadRR     []int
+	hostIfaces    []*flashserver.Iface
+	bgIfaces      []*flashserver.Iface
 
 	Host *hostif.HostIf
 	CPU  *hostmodel.CPU
@@ -159,9 +175,15 @@ func (n *Node) Eng() *sim.Engine { return n.cluster.Eng }
 // --- local flash access (device side / ISP path) ---------------------
 
 // ReadLocal reads a page on this node's own flash through the in-store
-// processor interface: no host, no network.
+// processor interface: no host, no network. Reads stripe round-robin
+// over the card's ISPReadLanes channels so concurrent ISP reads
+// complete out of order instead of convoying behind one busy chip;
+// callers needing a private FIFO channel use NewIface.
 func (n *Node) ReadLocal(card int, addr nand.Addr, cb func(data []byte, err error)) {
-	n.ispIfaces[card].ReadPhysical(addr, cb)
+	lanes := n.ispReadIfaces[card]
+	lane := n.ispReadRR[card] % len(lanes)
+	n.ispReadRR[card]++
+	lanes[lane].ReadPhysical(addr, cb)
 }
 
 // WriteLocal programs a page on this node's own flash (ISP interface).
@@ -180,7 +202,26 @@ func (n *Node) EraseLocal(card int, addr nand.Addr, cb func(err error)) {
 // processor. Local pages use the local flash interface; remote pages
 // go over the integrated storage network to the remote flash server —
 // the ISP-F path, with zero host involvement anywhere.
+//
+// When an AccelRouter is installed on the cluster (by the request
+// scheduler), the read is admitted through it first, so ISP traffic
+// shares the per-node device window and the Accel token budget with
+// host traffic instead of bypassing QoS arbitration. The data path
+// after the grant is identical: the router issues via ISPReadDirect.
 func (n *Node) ISPRead(a PageAddr, cb func(data []byte, err error)) {
+	if r := n.cluster.accelRouter; r != nil {
+		r(n.id, a, cb)
+		return
+	}
+	n.ISPReadDirect(a, cb)
+}
+
+// ISPReadDirect is the raw device-side read path underneath ISPRead:
+// it always issues immediately, even when an accel router is
+// installed. It exists for the scheduler's own issue path (a granted
+// Accel request must not re-enter admission); every other caller
+// should use ISPRead so an installed router can arbitrate.
+func (n *Node) ISPReadDirect(a PageAddr, cb func(data []byte, err error)) {
 	if a.Node == n.id {
 		n.ReadLocal(a.Card, a.Addr, cb)
 		return
@@ -241,7 +282,15 @@ func (n *Node) handleFlashReq(src fabric.NodeID, _ int, payload any) {
 				n.respond(msg, nil, err)
 			})
 		default:
-			n.serveIface(msg).ReadPhysical(msg.addr, func(data []byte, err error) {
+			iface := n.serveIface(msg)
+			if !msg.bg {
+				// Remote latency-path reads stripe over the card's ISP
+				// read lanes like local ISP reads do.
+				lanes := n.ispReadIfaces[msg.card]
+				iface = lanes[n.ispReadRR[msg.card]%len(lanes)]
+				n.ispReadRR[msg.card]++
+			}
+			iface.ReadPhysical(msg.addr, func(data []byte, err error) {
 				n.respond(msg, data, err)
 			})
 		}
@@ -322,6 +371,15 @@ type HostReq struct {
 // non-nil error (typically the scheduler's backpressure error) means
 // the request was NOT admitted and its Done will never fire.
 type HostRouter func(node int, req HostReq) error
+
+// AccelRouter admits device-side in-store processor reads into an
+// external request scheduler. origin is the node whose ISP issued the
+// read; a is the page anywhere in the cluster. The router owns the
+// completion: cb fires exactly once (with the page data or an error),
+// and admission backpressure is absorbed inside the router, because
+// ISP engine pump loops predate the scheduler and never handled
+// admission errors.
+type AccelRouter func(origin int, a PageAddr, cb func(data []byte, err error))
 
 // SubmitHostBatch issues a group of host requests paying the storage
 // stack software overhead and the RPC doorbell ONCE for the whole

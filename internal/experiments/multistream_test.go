@@ -25,9 +25,9 @@ func TestMultiStreamShort(t *testing.T) {
 		t.Fatalf("total ops %d < %d", r.Sched.TotalOps, want)
 	}
 	for _, cs := range r.Sched.Classes {
-		if cs.Class == "background" {
-			// Housekeeping class: this experiment drives no FTL, so no
-			// relocation traffic exists.
+		if cs.Class == "background" || cs.Class == "accel" {
+			// Housekeeping and ISP classes: this experiment drives no
+			// FTL and no in-store engines, so neither has traffic.
 			continue
 		}
 		if cs.Ops == 0 {

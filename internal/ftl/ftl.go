@@ -125,6 +125,7 @@ type FTL struct {
 	// stats
 	HostWrites    int64
 	HostReads     int64
+	HostTrims     int64
 	FlashPrograms int64
 	FlashErases   int64
 	GCMoves       int64
@@ -315,16 +316,42 @@ func (f *FTL) WriteTagged(lpn int, data []byte, tag IOTag, cb func(err error)) {
 	f.enqueue(func() { f.doWrite(lpn, buf, tag, cb) })
 }
 
-// Trim invalidates a logical page without writing.
+// Trim invalidates a logical page without writing. A trim is a pure
+// host-side metadata update in this FTL (the mapping lives in host
+// DRAM, no flash command is issued), so there is nothing to admit
+// through a scheduler — but it still changes GC economics (the
+// invalidated page shrinks some victim's relocation demand), so it is
+// counted (HostTrims) and surfaced through volume.Stats instead of
+// being invisible to the stats deltas.
 func (f *FTL) Trim(lpn int) error {
 	if lpn < 0 || lpn >= f.lpns {
 		return fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
 	}
+	f.HostTrims++
 	if ppn := f.l2p[lpn]; ppn >= 0 {
 		f.invalidate(ppn)
 		f.l2p[lpn] = -1
 	}
 	return nil
+}
+
+// Phys returns the physical location lpn currently maps to: the
+// RFS-style physical-address query of the paper's Figure 8 (step 1),
+// where host software resolves a logical extent to physical pages and
+// hands the list to an in-store engine, which then streams the pages
+// directly off the flash with no further host mediation. The result
+// is a snapshot — it goes stale if the page is overwritten, trimmed,
+// or relocated by garbage collection — so callers scan read-stable
+// data (as RFS readers do) or re-query after mutation.
+func (f *FTL) Phys(lpn int) (nand.Addr, error) {
+	if lpn < 0 || lpn >= f.lpns {
+		return nand.Addr{}, fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
+	}
+	ppn := f.l2p[lpn]
+	if ppn < 0 {
+		return nand.Addr{}, fmt.Errorf("%w: %d", ErrUnmapped, lpn)
+	}
+	return f.addrOf(ppn), nil
 }
 
 // gcReserveBlocks is the free-block floor below which host writes

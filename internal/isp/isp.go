@@ -28,11 +28,31 @@ type Engine interface {
 
 // Scheduler assigns hardware acceleration units to competing user
 // applications with a simple FIFO policy (paper §4).
+//
+// Invariants, which hold under any interleaving of Submit and done —
+// including callbacks that re-enqueue work or complete synchronously
+// from inside a grant:
+//
+//   - at most `units` grants are outstanding at once;
+//   - a fresh Submit never overtakes queued waiters, even if a unit
+//     is momentarily free mid-handoff;
+//   - each grant owns exactly one release: calling its done twice
+//     panics instead of silently over-granting (the old failure mode:
+//     with waiters queued, a double done handed the queue head a
+//     phantom unit, so units+1 bodies ran concurrently and
+//     Grants/busy drifted apart without tripping any check).
 type Scheduler struct {
 	name  string
 	units int
 	busy  int
 	queue []func(done func())
+
+	// release bookkeeping: frees counts units returned but not yet
+	// redistributed; draining marks the redistribution loop live so a
+	// synchronous done inside a granted callback feeds the running
+	// loop instead of recursing one stack frame per waiter.
+	frees    int
+	draining bool
 
 	// stats
 	Grants int64
@@ -58,28 +78,57 @@ func (s *Scheduler) Busy() int { return s.busy }
 func (s *Scheduler) Queued() int { return len(s.queue) }
 
 // Submit requests an acceleration unit. fn runs when one is assigned
-// and must call done() to release it; queued requests are served FIFO.
+// and must call done() exactly once to release it; queued requests
+// are served FIFO. The queue check alongside busy keeps FIFO airtight:
+// a free unit with waiters queued (transient during a drain) must go
+// to the queue head, never to a fresh submission.
 func (s *Scheduler) Submit(fn func(done func())) {
-	if s.busy < s.units {
+	if s.busy < s.units && len(s.queue) == 0 {
 		s.busy++
-		s.Grants++
-		fn(s.release)
+		s.grant(fn)
 		return
 	}
 	s.Waits++
 	s.queue = append(s.queue, fn)
 }
 
+// grant starts fn on an assigned unit with a single-shot done.
+func (s *Scheduler) grant(fn func(done func())) {
+	s.Grants++
+	released := false
+	fn(func() {
+		if released {
+			panic(fmt.Sprintf("isp: scheduler %q: done called twice for one grant", s.name))
+		}
+		released = true
+		s.release()
+	})
+}
+
+// release redistributes freed units: each goes to the queue head (the
+// FIFO handoff) or, with no waiters, back to the pool. The loop is
+// iterative — a granted callback that completes synchronously lands
+// its free on the already-running drain instead of recursing, so a
+// long chain of instant completions cannot overflow the stack.
 func (s *Scheduler) release() {
-	if len(s.queue) > 0 {
-		fn := s.queue[0]
-		s.queue = s.queue[1:]
-		s.Grants++
-		fn(s.release)
+	s.frees++
+	if s.draining {
 		return
 	}
-	s.busy--
-	if s.busy < 0 {
-		panic(fmt.Sprintf("isp: scheduler %q released more units than granted", s.name))
+	s.draining = true
+	for s.frees > 0 {
+		s.frees--
+		if len(s.queue) > 0 {
+			fn := s.queue[0]
+			s.queue[0] = nil
+			s.queue = s.queue[1:]
+			s.grant(fn)
+			continue
+		}
+		s.busy--
+		if s.busy < 0 {
+			panic(fmt.Sprintf("isp: scheduler %q released more units than granted", s.name))
+		}
 	}
+	s.draining = false
 }

@@ -122,3 +122,108 @@ func TestSchedulerConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSchedulerDoubleDoneWithWaitersPanics: the old accounting bug —
+// with waiters queued, a double done handed the queue head a phantom
+// unit, silently running units+1 bodies concurrently. Each grant's
+// done is single-shot now: the second call must panic, with or
+// without a queue.
+func TestSchedulerDoubleDoneWithWaitersPanics(t *testing.T) {
+	s, _ := NewScheduler("dd", 1)
+	var rel func()
+	s.Submit(func(done func()) { rel = done })
+	running := 0
+	for i := 0; i < 2; i++ {
+		s.Submit(func(done func()) { running++ })
+	}
+	rel() // legitimate: hands the unit to the first waiter
+	if running != 1 {
+		t.Fatalf("%d waiters running, want 1", running)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double done with waiters queued did not panic")
+		}
+		if s.Busy() > s.Units() {
+			t.Fatalf("busy %d exceeds %d units", s.Busy(), s.Units())
+		}
+	}()
+	rel() // the bug: previously popped the next waiter onto a phantom unit
+}
+
+// TestSchedulerReenqueueInsideGrant: callbacks that submit more work
+// from inside a granted body (before and after calling done) keep
+// FIFO order and consistent Grants/Waits accounting.
+func TestSchedulerReenqueueInsideGrant(t *testing.T) {
+	s, _ := NewScheduler("re", 1)
+	var order []string
+	submitted := 0
+	submit := func(name string, body func(done func())) {
+		submitted++
+		s.Submit(func(done func()) {
+			order = append(order, name)
+			body(done)
+		})
+	}
+	var hold func()
+	submit("a", func(done func()) { hold = done })
+	submit("b", func(done func()) { done() })
+	// a re-enqueues c while b waits: c must run AFTER b, not jump it.
+	submitted++
+	s.Submit(func(done func()) {
+		order = append(order, "c")
+		// re-enqueue from inside done-chain: d goes to the tail.
+		submitted++
+		s.Submit(func(d2 func()) {
+			order = append(order, "d")
+			d2()
+		})
+		done()
+	})
+	hold()
+	want := []string{"a", "b", "c", "d"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	if s.Grants != int64(submitted) {
+		t.Fatalf("grants %d != submitted %d", s.Grants, submitted)
+	}
+	if s.Waits != 3 { // b, c queued behind a; d queued behind c's drain
+		t.Fatalf("waits = %d, want 3", s.Waits)
+	}
+	if s.Busy() != 0 || s.Queued() != 0 {
+		t.Fatalf("busy=%d queued=%d after drain", s.Busy(), s.Queued())
+	}
+}
+
+// TestSchedulerDeepSynchronousDrain: a long chain of synchronous
+// completions drains iteratively (one release used to recurse one
+// stack frame per waiter) with exact accounting.
+func TestSchedulerDeepSynchronousDrain(t *testing.T) {
+	s, _ := NewScheduler("deep", 1)
+	var rel func()
+	s.Submit(func(done func()) { rel = done })
+	const n = 200000
+	ran := 0
+	for i := 0; i < n; i++ {
+		s.Submit(func(done func()) {
+			ran++
+			done()
+		})
+	}
+	rel()
+	if ran != n {
+		t.Fatalf("ran %d of %d", ran, n)
+	}
+	if s.Grants != n+1 || s.Waits != n {
+		t.Fatalf("grants=%d waits=%d", s.Grants, s.Waits)
+	}
+	if s.Busy() != 0 || s.Queued() != 0 {
+		t.Fatalf("busy=%d queued=%d after drain", s.Busy(), s.Queued())
+	}
+}

@@ -1,0 +1,363 @@
+// Package ispvol is the distributed in-store processing subsystem:
+// the layer that makes accelerators first-class, QoS-governed tenants
+// of the sched/volume stack instead of raw flash peekers.
+//
+// The paper's headline capability (§4, §6) is in-store processors
+// that read flash directly — no host software on the data path —
+// while SHARING the flash controller with host traffic. Before this
+// package, the accelerator stack attached to core.Node and issued
+// reads outside the request scheduler, so an ISP-heavy tenant could
+// starve realtime host streams: exactly the QoS violation the
+// scheduler exists to prevent. Here, every engine flash read is
+// admitted through sched's Accel class (window-accounted, capped by
+// the accel token budget) and then issues on the device-side ISP
+// path, keeping the zero-host-involvement data path.
+//
+// A query runs the way Figure 8 describes:
+//
+//  1. the origin node's host resolves the logical range to physical
+//     pages (volume.PhysMap — the RFS-style physical address query)
+//     and partitions the list by owning node;
+//  2. one engine per node claims a hardware acceleration unit (the
+//     FIFO unit scheduler of internal/isp) and streams its partition
+//     off the local flash, window-deep, through the node's
+//     sched.AccelStream;
+//  3. each engine reduces its pages next to the flash (Morris-Pratt
+//     match offsets, predicate-filtered records) and ships only the
+//     results to the origin over the integrated storage network;
+//  4. the origin merges the partial results (stitching page-boundary
+//     junctions for string search) and DMAs the final answer into
+//     host memory.
+//
+// The package also implements the two comparison arms the experiments
+// need: Bypass admission (the pre-fix bug path — raw device
+// interfaces, invisible to the scheduler) and host-mediated queries
+// (every page crosses PCIe and is reduced in host software).
+package ispvol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/isp"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/volume"
+)
+
+// MergeEP is the fabric endpoint the subsystem binds on every node
+// for query fan-out and result merge traffic (mapreduce shuffles on
+// core.EPUser; this stays clear of it).
+const MergeEP = core.EPUser + 1
+
+// Admission selects the flash data path engines read through.
+type Admission int
+
+const (
+	// Admitted is the production path: reads go through the node's
+	// sched.AccelStream — Accel-class admission, window accounting,
+	// token budget — then issue device-side.
+	Admitted Admission = iota
+	// Bypass is the pre-fix scheduler-bypass bug, kept as an explicit
+	// experiment arm: reads hit the raw device interfaces directly,
+	// invisible to the scheduler's device window, so ISP load inflates
+	// realtime host tail latency without bound.
+	Bypass
+)
+
+func (a Admission) String() string {
+	switch a {
+	case Admitted:
+		return "admitted"
+	case Bypass:
+		return "bypass"
+	default:
+		return fmt.Sprintf("admission(%d)", int(a))
+	}
+}
+
+// Config tunes the subsystem.
+type Config struct {
+	// UnitsPerNode is the number of hardware acceleration units each
+	// node's FIFO unit scheduler arbitrates (paper §4): one engine
+	// holds one unit for the duration of its partition. Default 4.
+	UnitsPerNode int
+	// Window is each engine's in-flight flash read depth. Default 8.
+	Window int
+	// RetryDelay is the backoff before re-admitting a read that hit
+	// scheduler backpressure. Default 5 µs.
+	RetryDelay sim.Time
+	// Admission selects the engine data path (see Admission).
+	Admission Admission
+	// HostClass is the QoS class host-mediated queries read at.
+	// Default Batch.
+	HostClass sched.Class
+	// HostThreads is the host worker-thread count that host-mediated
+	// queries reduce pages on. Default 8.
+	HostThreads int
+}
+
+// DefaultConfig returns the production configuration.
+func DefaultConfig() Config {
+	return Config{
+		UnitsPerNode: 4,
+		Window:       8,
+		RetryDelay:   5 * sim.Microsecond,
+		Admission:    Admitted,
+		HostClass:    sched.Batch,
+		HostThreads:  8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.UnitsPerNode <= 0 {
+		c.UnitsPerNode = 4
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 5 * sim.Microsecond
+	}
+	if c.HostThreads <= 0 {
+		c.HostThreads = 8
+	}
+	return c
+}
+
+// System is the distributed ISP runtime over one cluster + volume.
+type System struct {
+	c   *core.Cluster
+	s   *sched.Scheduler
+	v   *volume.Volume
+	cfg Config
+
+	nodes     []*nodeISP
+	pending   map[uint64]queryState
+	nextQuery uint64
+}
+
+// nodeISP is one node's slice of the subsystem.
+type nodeISP struct {
+	node   *core.Node
+	units  *isp.Scheduler
+	stream *sched.AccelStream
+	ep     *fabric.Endpoint
+}
+
+// queryState receives partial results at the origin.
+type queryState interface {
+	part(msg any)
+}
+
+// New attaches the subsystem to a cluster, scheduler and volume (all
+// three must belong together). It binds MergeEP on every node.
+func New(c *core.Cluster, s *sched.Scheduler, v *volume.Volume, cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if cfg.HostClass >= sched.Accel {
+		return nil, fmt.Errorf("ispvol: host-mediated class %v not usable by tenants", cfg.HostClass)
+	}
+	sys := &System{c: c, s: s, v: v, cfg: cfg, pending: make(map[uint64]queryState)}
+	for i := 0; i < c.Nodes(); i++ {
+		n := c.Node(i)
+		units, err := isp.NewScheduler(fmt.Sprintf("isp-n%d", i), cfg.UnitsPerNode)
+		if err != nil {
+			return nil, err
+		}
+		st, err := s.NewAccelStream(fmt.Sprintf("isp-n%d", i), i)
+		if err != nil {
+			return nil, err
+		}
+		ep, err := n.NetNode().BindEndpoint(MergeEP)
+		if err != nil {
+			return nil, err
+		}
+		ns := &nodeISP{node: n, units: units, stream: st, ep: ep}
+		ep.OnReceive = func(src fabric.NodeID, _ int, payload any) {
+			sys.receive(ns, payload)
+		}
+		sys.nodes = append(sys.nodes, ns)
+	}
+	return sys, nil
+}
+
+// Cluster returns the underlying cluster.
+func (sys *System) Cluster() *core.Cluster { return sys.c }
+
+// Units exposes a node's acceleration-unit scheduler (for tests).
+func (sys *System) Units(node int) *isp.Scheduler { return sys.nodes[node].units }
+
+// receive dispatches an inbound fabric message on a node.
+func (sys *System) receive(ns *nodeISP, payload any) {
+	switch m := payload.(type) {
+	case *searchStartMsg:
+		sys.runSearchPart(ns, m)
+	case *scanStartMsg:
+		sys.runScanPart(ns, m)
+	case *searchPartMsg:
+		if q, ok := sys.pending[m.query]; ok {
+			q.part(m)
+		}
+	case *scanPartMsg:
+		if q, ok := sys.pending[m.query]; ok {
+			q.part(m)
+		}
+	default:
+		panic(fmt.Sprintf("ispvol: unknown message %T", payload))
+	}
+}
+
+// deliver routes a message from node src to node dst: over the fabric
+// when remote (size bytes on the wire), directly when local.
+func (sys *System) deliver(src, dst int, size int, msg any) {
+	if src == dst {
+		sys.receive(sys.nodes[dst], msg)
+		return
+	}
+	if err := sys.nodes[src].ep.Send(fabric.NodeID(dst), size, msg, nil); err != nil {
+		panic(fmt.Sprintf("ispvol: merge route missing: %v", err))
+	}
+}
+
+// pageRef is one page of a query partition.
+type pageRef struct {
+	lpn  int // volume LPN
+	qidx int // page index within the query range (lpn - lo)
+	addr core.PageAddr
+}
+
+// partition resolves [lo, hi) through the volume's physical map
+// (Figure 8 step 1) and groups the pages by owning node.
+func (sys *System) partition(lo, hi int) ([][]pageRef, error) {
+	addrs, err := sys.v.PhysMap(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]pageRef, sys.c.Nodes())
+	for i, a := range addrs {
+		parts[a.Node] = append(parts[a.Node], pageRef{lpn: lo + i, qidx: i, addr: a})
+	}
+	return parts, nil
+}
+
+// chipInterleave reorders a partition so consecutive reads target
+// different flash chips. The FTL's frontier allocation packs adjacent
+// logical pages into one physical block — a single chip — so scanning
+// a partition in logical order would convoy the engine's whole read
+// window on one chip at a time while fifteen others idle. Engines
+// scan pages independently (order never affects the result), so they
+// are free to schedule by chip availability, the way the hardware
+// issues reads to whichever bus is free. Buckets by (card, bus,
+// chip), round-robin across buckets; fully deterministic.
+func chipInterleave(refs []pageRef) []pageRef {
+	if len(refs) < 2 {
+		return refs
+	}
+	type chipKey struct{ card, bus, chip int }
+	var order []chipKey
+	buckets := make(map[chipKey][]pageRef)
+	for _, r := range refs {
+		k := chipKey{r.addr.Card, r.addr.Addr.Bus, r.addr.Addr.Chip}
+		if _, ok := buckets[k]; !ok {
+			order = append(order, k)
+		}
+		buckets[k] = append(buckets[k], r)
+	}
+	out := make([]pageRef, 0, len(refs))
+	for len(out) < len(refs) {
+		for _, k := range order {
+			if b := buckets[k]; len(b) > 0 {
+				out = append(out, b[0])
+				buckets[k] = b[1:]
+			}
+		}
+	}
+	return out
+}
+
+// readPage issues one engine flash read on node n's data path.
+func (sys *System) readPage(n int, ref pageRef, cb func(data []byte, err error)) {
+	if sys.cfg.Admission == Bypass {
+		// The bug path: straight to the device interfaces. Deliberately
+		// ISPReadDirect, not ISPRead — an attached accel router must
+		// not be able to rescue this arm, it reproduces the pre-fix
+		// behavior.
+		sys.nodes[n].node.ISPReadDirect(ref.addr, cb)
+		return
+	}
+	st := sys.nodes[n].stream
+	var try func()
+	try = func() {
+		if err := st.Read(ref.addr, cb); err == sched.ErrBackpressure {
+			sys.c.Eng.After(sys.cfg.RetryDelay, try)
+		} else if err != nil {
+			cb(nil, err)
+		}
+	}
+	try()
+}
+
+// runEngine claims one acceleration unit on node n, streams refs
+// window-deep through the node's flash data path, feeds every page to
+// scan (in completion order), then releases the unit and fires done.
+// scan's err is the page's read error (the page is skipped, not
+// fatal).
+func (sys *System) runEngine(n int, refs []pageRef, scan func(i int, ref pageRef, data []byte, err error), done func()) {
+	refs = chipInterleave(refs)
+	sys.nodes[n].units.Submit(func(unitDone func()) {
+		if len(refs) == 0 {
+			unitDone()
+			done()
+			return
+		}
+		next, inflight := 0, 0
+		var pump func()
+		pump = func() {
+			for inflight < sys.cfg.Window && next < len(refs) {
+				i := next
+				next++
+				inflight++
+				sys.readPage(n, refs[i], func(data []byte, err error) {
+					scan(i, refs[i], data, err)
+					inflight--
+					if inflight == 0 && next >= len(refs) {
+						unitDone()
+						done()
+						return
+					}
+					pump()
+				})
+			}
+		}
+		pump()
+	})
+}
+
+// startQuery registers origin-side query state and returns its id.
+func (sys *System) startQuery(q queryState) uint64 {
+	id := sys.nextQuery
+	sys.nextQuery++
+	sys.pending[id] = q
+	return id
+}
+
+// finishQuery drops the registration.
+func (sys *System) finishQuery(id uint64) { delete(sys.pending, id) }
+
+// dmaToHost models the final result DMA into the origin host's
+// memory: size bytes through a read buffer plus the completion
+// interrupt, then cb. Zero-size results skip the transfer.
+func (sys *System) dmaToHost(origin, size int, cb func()) {
+	if size <= 0 {
+		cb()
+		return
+	}
+	h := sys.nodes[origin].node.Host
+	h.AcquireReadBuffer(size, func(buf int) {
+		h.ReleaseReadBuffer(buf)
+		cb()
+	}, func(buf int) {
+		h.DeviceWriteChunk(buf, size, true)
+	})
+}

@@ -1,0 +1,353 @@
+package ispvol
+
+// Distributed string search (paper §7.3 ported to the volume): the
+// origin resolves the logical range to physical pages, fans one
+// Morris-Pratt engine out per node over the fabric, each engine
+// streams its local pages off the flash through the Accel admission
+// path and scans them at line rate, and only match offsets plus tiny
+// page-edge residues return to the origin, which stitches the page
+// junctions no single engine could see (the striped volume puts
+// adjacent logical pages on different nodes).
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/accel/search"
+	"repro/internal/sim"
+)
+
+// SearchResult reports one distributed search query.
+type SearchResult struct {
+	// Matches holds the byte offsets of every occurrence, relative to
+	// the start of the query's logical range, sorted.
+	Matches     []int64
+	Pages       int
+	FailedPages int      // pages whose read failed (their matches are lost)
+	Bytes       int64    // haystack bytes scanned
+	Elapsed     sim.Time // query start to merged-result-in-host-memory
+	Throughput  float64  // bytes/second
+}
+
+// searchStartMsg fans a query partition out to one node's engine: the
+// compiled pattern plus the physical address list (Figure 8 step 2).
+type searchStartMsg struct {
+	query  uint64
+	origin int
+	needle []byte
+	refs   []pageRef
+}
+
+// searchPartMsg returns a partition's reduction to the origin: match
+// offsets and per-page edge residues for junction stitching.
+type searchPartMsg struct {
+	query   uint64
+	node    int
+	matches []int64
+	qidx    []int
+	heads   [][]byte
+	tails   [][]byte
+	failed  int
+}
+
+// searchQuery is the origin-side merge state.
+type searchQuery struct {
+	sys          *System
+	id           uint64
+	origin       int
+	pat          *search.Pattern
+	pages        int
+	ps           int
+	pendingParts int
+	matches      []int64
+	heads        [][]byte // indexed by qidx
+	tails        [][]byte
+	failed       int
+	start        sim.Time
+	done         func(*SearchResult, error)
+}
+
+// Search runs the distributed ISP-F string search over logical pages
+// [lo, hi) of the volume, with the query originating (and results
+// merging) at node origin. It is asynchronous: done fires in virtual
+// time once the merged result has DMA'd into the origin host's
+// memory; the caller drives the engine (Cluster.Run or an enclosing
+// workload window). Engine flash reads are admitted through the
+// scheduler's Accel class (or raw, under Bypass admission — the bug
+// reproduction arm).
+func (sys *System) Search(origin, lo, hi int, needle []byte, done func(*SearchResult, error)) {
+	pat, err := search.Compile(needle)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	if origin < 0 || origin >= sys.c.Nodes() {
+		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
+		return
+	}
+	// Figure 8 step 1: host software resolves the physical address
+	// list. This (plus the fan-out RPC below) is the only host work on
+	// the whole query.
+	parts, err := sys.partition(lo, hi)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	pages := hi - lo
+	q := &searchQuery{
+		sys:    sys,
+		origin: origin,
+		pat:    pat,
+		pages:  pages,
+		ps:     sys.v.PageSize(),
+		heads:  make([][]byte, pages),
+		tails:  make([][]byte, pages),
+		start:  sys.c.Eng.Now(),
+		done:   done,
+	}
+	q.id = sys.startQuery(q)
+	for _, refs := range parts {
+		if len(refs) > 0 {
+			q.pendingParts++
+		}
+	}
+	if q.pendingParts == 0 {
+		q.finish()
+		return
+	}
+	// One software + RPC charge covers the whole fan-out: the host
+	// ships the pattern (needle + MP constants) and each partition's
+	// address list to its node's engine, then gets out of the way.
+	node := sys.nodes[origin].node
+	patBytes := len(needle) + 4*(len(needle)+1)
+	node.Host.ChargeSoftware(func() {
+		node.Host.RPC(func() {
+			for n, refs := range parts {
+				if len(refs) == 0 {
+					continue
+				}
+				msg := &searchStartMsg{query: q.id, origin: origin, needle: needle, refs: refs}
+				sys.deliver(origin, n, 32+patBytes+16*len(refs), msg)
+			}
+		})
+	})
+}
+
+// runSearchPart executes one node's engine: scan every local page of
+// the partition, collect in-page matches and edge residues, ship the
+// reduction to the origin.
+func (sys *System) runSearchPart(ns *nodeISP, m *searchStartMsg) {
+	pat, err := search.Compile(m.needle)
+	if err != nil {
+		// The origin compiled the same needle before fanning out.
+		panic(fmt.Sprintf("ispvol: uncompilable needle reached an engine: %v", err))
+	}
+	res := &searchPartMsg{query: m.query, node: ns.node.ID()}
+	ps := sys.v.PageSize()
+	sc := pat.NewScanner()
+	sys.runEngine(ns.node.ID(), m.refs, func(_ int, ref pageRef, data []byte, err error) {
+		if err != nil {
+			res.failed++
+			return
+		}
+		// Per-page scan with fresh state: the partition's pages are not
+		// logically adjacent (the volume stripes them), so only matches
+		// fully inside a page can be found here; straddlers are the
+		// origin's junction pass.
+		sc.Reset(int64(ref.qidx) * int64(ps))
+		sc.Feed(data, func(pos int64) {
+			res.matches = append(res.matches, pos)
+		})
+		h, t := pat.EdgeBytes(data)
+		res.qidx = append(res.qidx, ref.qidx)
+		res.heads = append(res.heads, append([]byte(nil), h...))
+		res.tails = append(res.tails, append([]byte(nil), t...))
+	}, func() {
+		size := 32 + 8*len(res.matches) + 4*len(res.qidx)
+		for i := range res.heads {
+			size += len(res.heads[i]) + len(res.tails[i])
+		}
+		sys.deliver(ns.node.ID(), m.origin, size, res)
+	})
+}
+
+// part merges one node's reduction into the origin state.
+func (q *searchQuery) part(msg any) {
+	m := msg.(*searchPartMsg)
+	q.matches = append(q.matches, m.matches...)
+	for i, qi := range m.qidx {
+		q.heads[qi] = m.heads[i]
+		q.tails[qi] = m.tails[i]
+	}
+	q.failed += m.failed
+	q.pendingParts--
+	if q.pendingParts == 0 {
+		q.finish()
+	}
+}
+
+// merge stitches the page junctions from the collected edge residues
+// and assembles the sorted result (Elapsed/Throughput are stamped by
+// the caller once the result has reached host memory). Both arms —
+// distributed and host-mediated — merge through this one path, so
+// their match sets can only diverge on the data path, which is what
+// the experiments' cross-validation is meant to test.
+func (q *searchQuery) merge() *SearchResult {
+	for b := 1; b < q.pages; b++ {
+		q.matches = append(q.matches,
+			q.pat.JunctionMatches(q.tails[b-1], q.heads[b], int64(b)*int64(q.ps))...)
+	}
+	sort.Slice(q.matches, func(i, j int) bool { return q.matches[i] < q.matches[j] })
+	return &SearchResult{
+		Matches:     q.matches,
+		Pages:       q.pages,
+		FailedPages: q.failed,
+		Bytes:       int64(q.pages) * int64(q.ps),
+	}
+}
+
+// stamp fills the timing fields at completion time.
+func (q *searchQuery) stamp(res *SearchResult) {
+	res.Elapsed = q.sys.c.Eng.Now() - q.start
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Bytes) / res.Elapsed.Seconds()
+	}
+}
+
+// finish merges and DMAs the match list into the origin host's memory.
+func (q *searchQuery) finish() {
+	q.sys.finishQuery(q.id)
+	res := q.merge()
+	q.sys.dmaToHost(q.origin, 8*len(q.matches), func() {
+		q.stamp(res)
+		q.done(res, nil)
+	})
+}
+
+// SearchHost runs the same query host-mediated: the origin host reads
+// every page of the range through the volume at Config.HostClass
+// (batched doorbells, PCIe DMA, read buffers) and scans it in
+// software on Config.HostThreads worker threads at grep cost. The
+// result shape is identical to Search, so the two arms cross-validate
+// match-for-match; what differs is who moves and touches the bytes.
+func (sys *System) SearchHost(origin, lo, hi int, needle []byte, done func(*SearchResult, error)) {
+	pat, err := search.Compile(needle)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	if origin < 0 || origin >= sys.c.Nodes() {
+		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
+		return
+	}
+	if lo < 0 || hi > sys.v.Pages() || lo > hi {
+		done(nil, fmt.Errorf("ispvol: range [%d,%d) out of volume", lo, hi))
+		return
+	}
+	st, err := sys.v.NewStream(fmt.Sprintf("isp-hostmed-n%d", origin), sys.cfg.HostClass)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	pages := hi - lo
+	ps := sys.v.PageSize()
+	node := sys.c.Node(origin)
+	q := &searchQuery{sys: sys, origin: origin, pat: pat, pages: pages, ps: ps,
+		heads: make([][]byte, pages), tails: make([][]byte, pages),
+		start: sys.c.Eng.Now(), done: done}
+
+	threads := sys.cfg.HostThreads
+	workers := make([]*workerState, threads)
+	for i := range workers {
+		workers[i] = &workerState{th: node.CPU.NewThread(), sc: pat.NewScanner()}
+	}
+	scanCost := sim.Time(ps) * search.GrepCPUPerByte * sim.Nanosecond
+
+	// The host arm gets the same I/O concurrency budget the ISP arm
+	// has (engines x window); each slot is read-then-scan, so slots
+	// overlap flash, PCIe and CPU work across each other.
+	depth := sys.cfg.UnitsPerNode * sys.cfg.Window
+	if depth > pages {
+		depth = pages
+	}
+	next, inflight := 0, 0
+	// Same merge as the distributed arm; the pages are already in host
+	// memory, so there is no final DMA to pay.
+	finish := func() {
+		res := q.merge()
+		q.stamp(res)
+		done(res, nil)
+	}
+	if pages == 0 {
+		finish()
+		return
+	}
+	var pump func()
+	pump = func() {
+		for inflight < depth && next < pages {
+			qidx := next
+			next++
+			inflight++
+			w := workers[qidx%threads]
+			st.Read(lo+qidx, func(data []byte, err error) {
+				if err != nil {
+					q.failed++
+					inflight--
+					if inflight == 0 && next >= pages {
+						finish()
+						return
+					}
+					pump()
+					return
+				}
+				w.th.Do(scanCost, func() {
+					w.sc.Reset(int64(qidx) * int64(ps))
+					w.sc.Feed(data, func(pos int64) {
+						q.matches = append(q.matches, pos)
+					})
+					h, t := pat.EdgeBytes(data)
+					q.heads[qidx] = append([]byte(nil), h...)
+					q.tails[qidx] = append([]byte(nil), t...)
+					inflight--
+					if inflight == 0 && next >= pages {
+						finish()
+						return
+					}
+					pump()
+				})
+			})
+		}
+	}
+	pump()
+}
+
+// SearchSync runs Search and drains the engine; for tests and
+// examples that have nothing else in flight.
+func (sys *System) SearchSync(origin, lo, hi int, needle []byte) (*SearchResult, error) {
+	var res *SearchResult
+	var rerr error
+	fired := false
+	sys.Search(origin, lo, hi, needle, func(r *SearchResult, e error) {
+		res, rerr, fired = r, e, true
+	})
+	sys.c.Run()
+	if !fired {
+		return nil, fmt.Errorf("ispvol: search never completed")
+	}
+	return res, rerr
+}
+
+// SearchHostSync runs SearchHost and drains the engine.
+func (sys *System) SearchHostSync(origin, lo, hi int, needle []byte) (*SearchResult, error) {
+	var res *SearchResult
+	var rerr error
+	fired := false
+	sys.SearchHost(origin, lo, hi, needle, func(r *SearchResult, e error) {
+		res, rerr, fired = r, e, true
+	})
+	sys.c.Run()
+	if !fired {
+		return nil, fmt.Errorf("ispvol: host-mediated search never completed")
+	}
+	return res, rerr
+}

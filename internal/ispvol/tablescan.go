@@ -1,0 +1,279 @@
+package ispvol
+
+// Distributed table scan (the paper's §8 "SQL Database Acceleration"
+// direction, ported to the volume): selection and projection pushed
+// down into every storage device that holds a shard of the table.
+// Each node's engine filters its local pages at line rate and only
+// qualifying records cross the network to the origin; the host
+// baseline hauls every page over PCIe and filters in software.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/accel/tablescan"
+	"repro/internal/hostmodel"
+	"repro/internal/sim"
+
+	"repro/internal/accel/search"
+)
+
+// workerState is one host worker thread of a host-mediated query.
+type workerState struct {
+	th *hostmodel.Thread
+	sc *search.Scanner
+}
+
+// ScanResult reports one distributed table-scan query.
+type ScanResult struct {
+	Rows        int64 // rows scanned (all nodes)
+	Matches     []tablescan.Record
+	Pages       int
+	FailedPages int
+	BytesToHost int64 // data that crossed into the origin host's memory
+	Elapsed     sim.Time
+	RowsPerSec  float64
+}
+
+// scanStartMsg fans a partition out to one node's filter engine.
+type scanStartMsg struct {
+	query  uint64
+	origin int
+	pred   tablescan.Predicate
+	refs   []pageRef
+}
+
+// scanPartMsg returns a partition's qualifying records to the origin.
+type scanPartMsg struct {
+	query   uint64
+	node    int
+	rows    int64
+	matches []tablescan.Record
+	failed  int
+}
+
+// scanQuery is the origin-side merge state.
+type scanQuery struct {
+	sys          *System
+	id           uint64
+	origin       int
+	pages        int
+	pendingParts int
+	rows         int64
+	matches      []tablescan.Record
+	failed       int
+	start        sim.Time
+	done         func(*ScanResult, error)
+}
+
+// TableScan runs the distributed ISP-F table scan over logical pages
+// [lo, hi): one filter engine per node, predicate evaluated next to
+// the flash, only matching records shipped to the origin and DMA'd to
+// its host. Asynchronous like Search.
+func (sys *System) TableScan(origin, lo, hi int, pred tablescan.Predicate, done func(*ScanResult, error)) {
+	if origin < 0 || origin >= sys.c.Nodes() {
+		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
+		return
+	}
+	parts, err := sys.partition(lo, hi)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	q := &scanQuery{
+		sys:    sys,
+		origin: origin,
+		pages:  hi - lo,
+		start:  sys.c.Eng.Now(),
+		done:   done,
+	}
+	q.id = sys.startQuery(q)
+	for _, refs := range parts {
+		if len(refs) > 0 {
+			q.pendingParts++
+		}
+	}
+	if q.pendingParts == 0 {
+		q.finish()
+		return
+	}
+	node := sys.nodes[origin].node
+	node.Host.ChargeSoftware(func() {
+		node.Host.RPC(func() {
+			for n, refs := range parts {
+				if len(refs) == 0 {
+					continue
+				}
+				msg := &scanStartMsg{query: q.id, origin: origin, pred: pred, refs: refs}
+				sys.deliver(origin, n, 32+16*len(refs), msg)
+			}
+		})
+	})
+}
+
+// runScanPart executes one node's filter engine over its partition.
+func (sys *System) runScanPart(ns *nodeISP, m *scanStartMsg) {
+	res := &scanPartMsg{query: m.query, node: ns.node.ID()}
+	sys.runEngine(ns.node.ID(), m.refs, func(_ int, _ pageRef, data []byte, err error) {
+		if err != nil {
+			res.failed++
+			return
+		}
+		matches, rows, ferr := tablescan.FilterPage(data, m.pred)
+		if ferr != nil {
+			res.failed++
+			return
+		}
+		res.rows += rows
+		res.matches = append(res.matches, matches...)
+	}, func() {
+		size := 32 + tablescan.RecordSize*len(res.matches)
+		sys.deliver(ns.node.ID(), m.origin, size, res)
+	})
+}
+
+// part merges one node's records into the origin state.
+func (q *scanQuery) part(msg any) {
+	m := msg.(*scanPartMsg)
+	q.rows += m.rows
+	q.matches = append(q.matches, m.matches...)
+	q.failed += m.failed
+	q.pendingParts--
+	if q.pendingParts == 0 {
+		q.finish()
+	}
+}
+
+// finish orders the merged records and DMAs them to the origin host.
+func (q *scanQuery) finish() {
+	q.sys.finishQuery(q.id)
+	sort.Slice(q.matches, func(i, j int) bool { return q.matches[i].ID < q.matches[j].ID })
+	res := &ScanResult{
+		Rows:        q.rows,
+		Matches:     q.matches,
+		Pages:       q.pages,
+		FailedPages: q.failed,
+		BytesToHost: int64(len(q.matches)) * tablescan.RecordSize,
+	}
+	q.sys.dmaToHost(q.origin, int(res.BytesToHost), func() {
+		res.Elapsed = q.sys.c.Eng.Now() - q.start
+		if res.Elapsed > 0 {
+			res.RowsPerSec = float64(res.Rows) / res.Elapsed.Seconds()
+		}
+		q.done(res, nil)
+	})
+}
+
+// TableScanHost runs the same query host-mediated: every page of the
+// range crosses PCIe into the origin host, where worker threads
+// evaluate the predicate in software.
+func (sys *System) TableScanHost(origin, lo, hi int, pred tablescan.Predicate, done func(*ScanResult, error)) {
+	if origin < 0 || origin >= sys.c.Nodes() {
+		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
+		return
+	}
+	if lo < 0 || hi > sys.v.Pages() || lo > hi {
+		done(nil, fmt.Errorf("ispvol: range [%d,%d) out of volume", lo, hi))
+		return
+	}
+	st, err := sys.v.NewStream(fmt.Sprintf("scan-hostmed-n%d", origin), sys.cfg.HostClass)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	pages := hi - lo
+	ps := sys.v.PageSize()
+	node := sys.c.Node(origin)
+	start := sys.c.Eng.Now()
+	res := &ScanResult{Pages: pages}
+
+	threads := sys.cfg.HostThreads
+	workers := make([]*hostmodel.Thread, threads)
+	for i := range workers {
+		workers[i] = node.CPU.NewThread()
+	}
+	pageCost := sim.Time(tablescan.RecordsPerPage(ps)) * tablescan.HostFilterCPUPerRow
+
+	depth := sys.cfg.UnitsPerNode * sys.cfg.Window
+	if depth > pages {
+		depth = pages
+	}
+	next, inflight := 0, 0
+	finish := func() {
+		sort.Slice(res.Matches, func(i, j int) bool { return res.Matches[i].ID < res.Matches[j].ID })
+		res.Elapsed = sys.c.Eng.Now() - start
+		if res.Elapsed > 0 {
+			res.RowsPerSec = float64(res.Rows) / res.Elapsed.Seconds()
+		}
+		done(res, nil)
+	}
+	if pages == 0 {
+		finish()
+		return
+	}
+	var pump func()
+	pump = func() {
+		for inflight < depth && next < pages {
+			qidx := next
+			next++
+			inflight++
+			w := workers[qidx%threads]
+			st.Read(lo+qidx, func(data []byte, err error) {
+				slotDone := func() {
+					inflight--
+					if inflight == 0 && next >= pages {
+						finish()
+						return
+					}
+					pump()
+				}
+				if err != nil {
+					res.FailedPages++
+					slotDone()
+					return
+				}
+				res.BytesToHost += int64(len(data))
+				w.Do(pageCost, func() {
+					if matches, rows, ferr := tablescan.FilterPage(data, pred); ferr == nil {
+						res.Rows += rows
+						res.Matches = append(res.Matches, matches...)
+					} else {
+						res.FailedPages++
+					}
+					slotDone()
+				})
+			})
+		}
+	}
+	pump()
+}
+
+// TableScanSync runs TableScan and drains the engine.
+func (sys *System) TableScanSync(origin, lo, hi int, pred tablescan.Predicate) (*ScanResult, error) {
+	var res *ScanResult
+	var rerr error
+	fired := false
+	sys.TableScan(origin, lo, hi, pred, func(r *ScanResult, e error) {
+		res, rerr, fired = r, e, true
+	})
+	sys.c.Run()
+	if !fired {
+		return nil, fmt.Errorf("ispvol: table scan never completed")
+	}
+	return res, rerr
+}
+
+// TableScanHostSync runs TableScanHost and drains the engine.
+func (sys *System) TableScanHostSync(origin, lo, hi int, pred tablescan.Predicate) (*ScanResult, error) {
+	var res *ScanResult
+	var rerr error
+	fired := false
+	sys.TableScanHost(origin, lo, hi, pred, func(r *ScanResult, e error) {
+		res, rerr, fired = r, e, true
+	})
+	sys.c.Run()
+	if !fired {
+		return nil, fmt.Errorf("ispvol: host-mediated table scan never completed")
+	}
+	return res, rerr
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// AccelStream is an in-store processor's admission handle: the fix
+// for ISP traffic bypassing the QoS scheduler. Engine flash reads are
+// admitted at the node that OWNS the page (that is where the flash
+// contention lives), wait their turn in the Accel class under its
+// token budget, and — once granted a device-window slot — issue on
+// the device-side ISP path (core.Node.ISPReadDirect): local pages hit
+// the card's ISP interface, remote pages ride the integrated storage
+// network, and no host software, doorbell or DMA is charged anywhere.
+//
+// The scheduler therefore sees and window-accounts every flash
+// operation the appliance performs — host, GC and ISP alike — while
+// the ISP data path keeps the paper's zero-host-involvement property.
+type AccelStream struct {
+	s      *Scheduler
+	name   string
+	origin int
+	closed bool
+
+	// Submitted counts reads this stream admitted successfully.
+	Submitted int64
+}
+
+// NewAccelStream opens a device-side ISP read stream issuing from
+// node origin's in-store processors.
+func (s *Scheduler) NewAccelStream(name string, origin int) (*AccelStream, error) {
+	if origin < 0 || origin >= len(s.nodes) {
+		return nil, fmt.Errorf("sched: node %d out of range [0,%d)", origin, len(s.nodes))
+	}
+	return &AccelStream{s: s, name: name, origin: origin}, nil
+}
+
+// Name returns the stream name.
+func (st *AccelStream) Name() string { return st.name }
+
+// Origin returns the node whose in-store processors issue the reads.
+func (st *AccelStream) Origin() int { return st.origin }
+
+// Read admits a physical page read anywhere in the cluster. cb fires
+// when the page data reaches the origin node's in-store processor (or
+// failed). ErrBackpressure means the owning node's admission queue is
+// full and cb will never fire: back off and retry.
+func (st *AccelStream) Read(a core.PageAddr, cb func(data []byte, err error)) error {
+	if st.closed {
+		return ErrClosed
+	}
+	if a.Node < 0 || a.Node >= len(st.s.nodes) {
+		return fmt.Errorf("sched: page owner %d out of range [0,%d)", a.Node, len(st.s.nodes))
+	}
+	r := &request{
+		class:     Accel,
+		statClass: Accel,
+		addr:      a,
+		accel:     true,
+		origin:    st.origin,
+		enq:       st.s.eng.Now(),
+		rcb:       cb,
+	}
+	if err := st.s.nodes[a.Node].admit(r); err != nil {
+		return err
+	}
+	st.Submitted++
+	return nil
+}
+
+// Close marks the stream closed; further submissions fail with
+// ErrClosed. In-flight requests still complete.
+func (st *AccelStream) Close() { st.closed = true }
+
+// AttachAccelRouter installs this scheduler as the cluster's accel
+// router: subsequent core.Node.ISPRead calls — the path every legacy
+// in-store processor uses — are admitted through the Accel class
+// exactly like AccelStream reads, so no accelerator can bypass QoS
+// arbitration just by holding a *core.Node. Admission backpressure is
+// absorbed by retrying after retryDelay (default 5 µs when zero):
+// legacy ISP pump loops predate the scheduler and do not handle
+// admission errors. DetachAccelRouter removes the hook.
+func (s *Scheduler) AttachAccelRouter(retryDelay sim.Time) {
+	if retryDelay <= 0 {
+		retryDelay = 5 * sim.Microsecond
+	}
+	s.cluster.SetAccelRouter(func(origin int, a core.PageAddr, cb func(data []byte, err error)) {
+		if a.Node < 0 || a.Node >= len(s.nodes) {
+			cb(nil, fmt.Errorf("sched: page owner %d out of range [0,%d)", a.Node, len(s.nodes)))
+			return
+		}
+		var try func()
+		try = func() {
+			r := &request{
+				class:     Accel,
+				statClass: Accel,
+				addr:      a,
+				accel:     true,
+				origin:    origin,
+				enq:       s.eng.Now(),
+				rcb:       cb,
+			}
+			if err := s.nodes[a.Node].admit(r); err == ErrBackpressure {
+				s.eng.After(retryDelay, try)
+			} else if err != nil {
+				cb(nil, err)
+			}
+		}
+		try()
+	})
+}
+
+// DetachAccelRouter removes the cluster accel-router hook.
+func (s *Scheduler) DetachAccelRouter() {
+	s.cluster.SetAccelRouter(nil)
+}

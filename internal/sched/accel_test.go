@@ -1,0 +1,223 @@
+package sched_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestAccelStreamReadsComplete: ISP reads admitted through an
+// AccelStream complete with the right data and are accounted under
+// the accel class — the scheduler sees them.
+func TestAccelStreamReadsComplete(t *testing.T) {
+	c := testCluster(t, 2, 64)
+	s, err := sched.New(c, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.NewAccelStream("engine", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for i := 0; i < 32; i++ {
+		// Even pages local to the origin, odd pages on the remote node:
+		// both admitted at the OWNING node, data lands at the origin.
+		a := core.LinearPage(c.Params, i%2, i/2)
+		if err := st.Read(a, func(data []byte, err error) {
+			if err != nil {
+				t.Errorf("read %v: %v", a, err)
+			}
+			if len(data) == 0 {
+				t.Errorf("read %v: no data", a)
+			}
+			completed++
+		}); err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+	}
+	c.Run()
+	if completed != 32 {
+		t.Fatalf("completed %d of 32", completed)
+	}
+	if st.Submitted != 32 {
+		t.Fatalf("submitted = %d", st.Submitted)
+	}
+	snap := s.Snapshot()
+	for _, cs := range snap.Classes {
+		if cs.Class == "accel" && cs.Ops != 32 {
+			t.Fatalf("accel class ops = %d, want 32", cs.Ops)
+		}
+	}
+	st.Close()
+	if err := st.Read(core.LinearPage(c.Params, 0, 0), nil); err != sched.ErrClosed {
+		t.Fatalf("closed stream accepted a read: %v", err)
+	}
+}
+
+// TestAccelTokenBudgetBound: the accel class may never hold more
+// device-window slots than its token budget, no matter how much ISP
+// work is queued.
+func TestAccelTokenBudgetBound(t *testing.T) {
+	c := testCluster(t, 1, 64)
+	cfg := sched.DefaultConfig()
+	cfg.MaxInflight = 8
+	cfg.AccelShare = 0.5 // budget: 4 slots
+	s, err := sched.New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.NewAccelStream("hog", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	for i := 0; i < 48; i++ {
+		a := core.LinearPage(c.Params, 0, i%64)
+		if err := st.Read(a, func(_ []byte, err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			done++
+		}); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	// Sample the in-flight gauge on a fine grid for the whole drain.
+	maxSeen := 0
+	var probe func()
+	probe = func() {
+		if got := s.AccelInflight(0); got > maxSeen {
+			maxSeen = got
+		}
+		if done < 48 {
+			c.Eng.After(2*sim.Microsecond, probe)
+		}
+	}
+	probe()
+	c.Run()
+	if done != 48 {
+		t.Fatalf("completed %d of 48", done)
+	}
+	if maxSeen > 4 {
+		t.Fatalf("accel held %d window slots, budget is 4", maxSeen)
+	}
+	if maxSeen == 0 {
+		t.Fatal("probe never saw accel work in flight")
+	}
+}
+
+// TestAccelClassClosedToHostPaths: host streams and the host router
+// cannot submit at the Accel class; it belongs to the device-side ISP
+// admission path alone.
+func TestAccelClassClosedToHostPaths(t *testing.T) {
+	c := testCluster(t, 1, 16)
+	s, err := sched.New(c, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewStream("bad", 0, sched.Accel); err == nil {
+		t.Fatal("host stream opened at the Accel class")
+	}
+	if err := s.AttachRouter(sched.Accel); err == nil {
+		t.Fatal("host router attached at the Accel class")
+	}
+}
+
+// TestAccelRouterClosesBypass: once the scheduler attaches its accel
+// router, legacy core.Node.ISPRead traffic is admitted through the
+// Accel class instead of bypassing QoS arbitration; detaching
+// restores the raw path.
+func TestAccelRouterClosesBypass(t *testing.T) {
+	c := testCluster(t, 2, 64)
+	s, err := sched.New(c, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachAccelRouter(0)
+	done := 0
+	for i := 0; i < 16; i++ {
+		a := core.LinearPage(c.Params, i%2, i)
+		c.Node(0).ISPRead(a, func(data []byte, err error) {
+			if err != nil {
+				t.Errorf("ISPRead: %v", err)
+			}
+			done++
+		})
+	}
+	c.Run()
+	if done != 16 {
+		t.Fatalf("completed %d of 16", done)
+	}
+	accelOps := int64(0)
+	for _, cs := range s.Snapshot().Classes {
+		if cs.Class == "accel" {
+			accelOps = cs.Ops
+		}
+	}
+	if accelOps != 16 {
+		t.Fatalf("accel class saw %d ops, want all 16 routed", accelOps)
+	}
+	s.DetachAccelRouter()
+	raw := false
+	c.Node(0).ISPRead(core.LinearPage(c.Params, 0, 0), func(_ []byte, err error) {
+		if err != nil {
+			t.Errorf("raw ISPRead: %v", err)
+		}
+		raw = true
+	})
+	c.Run()
+	if !raw {
+		t.Fatal("detached ISPRead never completed")
+	}
+	for _, cs := range s.Snapshot().Classes {
+		if cs.Class == "accel" && cs.Ops != 16 {
+			t.Fatalf("detached read still routed: accel ops = %d", cs.Ops)
+		}
+	}
+}
+
+// TestSnapshotZeroCompletionsMarshalsClean: a scheduler whose streams
+// never completed anything must export an all-zero, JSON-safe
+// snapshot — no NaN/Inf from empty tallies.
+func TestSnapshotZeroCompletionsMarshalsClean(t *testing.T) {
+	c := testCluster(t, 1, 1)
+	s, err := sched.New(c, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty JSON")
+	}
+	for _, cs := range snap.Classes {
+		for name, v := range map[string]float64{
+			"mean": cs.MeanUs, "p50": cs.P50Us, "p99": cs.P99Us,
+			"max": cs.MaxUs, "ops/s": cs.OpsPerSec, "MB/s": cs.MBps,
+		} {
+			if v != 0 || math.IsNaN(v) {
+				t.Fatalf("class %s %s = %v, want 0", cs.Class, name, v)
+			}
+		}
+	}
+}
+
+// TestAccelShareValidation: out-of-range budgets are rejected.
+func TestAccelShareValidation(t *testing.T) {
+	c := testCluster(t, 1, 1)
+	for _, share := range []float64{-0.1, 1.5} {
+		cfg := sched.DefaultConfig()
+		cfg.AccelShare = share
+		if _, err := sched.New(c, cfg); err == nil {
+			t.Fatalf("accel share %v accepted", share)
+		}
+	}
+}

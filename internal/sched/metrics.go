@@ -1,8 +1,22 @@
 package sched
 
 import (
+	"math"
+
 	"repro/internal/sim"
 )
+
+// finite clamps NaN and ±Inf to 0. Every float exported into a
+// Snapshot passes through it: a stream with zero completions (or any
+// other degenerate window) must yield zeros, never NaN — NaN does not
+// round-trip through encoding/json, so one poisoned field would make
+// the whole BENCH_*.json emission fail.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
 
 // classAgg accumulates one QoS class's metrics.
 type classAgg struct {
@@ -82,14 +96,14 @@ func (s *Scheduler) Snapshot() Snapshot {
 			Errors:    agg.errors,
 			Rejected:  agg.rejected,
 			Coalesced: agg.coalesced,
-			MeanUs:    agg.lat.Mean(),
-			P50Us:     agg.lat.Percentile(50),
-			P99Us:     agg.lat.Percentile(99),
-			MaxUs:     agg.lat.Max(),
+			MeanUs:    finite(agg.lat.Mean()),
+			P50Us:     finite(agg.lat.Percentile(50)),
+			P99Us:     finite(agg.lat.Percentile(99)),
+			MaxUs:     finite(agg.lat.Max()),
 		}
 		if secs > 0 {
-			cs.OpsPerSec = float64(agg.ops) / secs
-			cs.MBps = float64(agg.bytes) / secs / 1e6
+			cs.OpsPerSec = finite(float64(agg.ops) / secs)
+			cs.MBps = finite(float64(agg.bytes) / secs / 1e6)
 		}
 		out.TotalOps += agg.ops
 		out.Rejected += agg.rejected
@@ -98,11 +112,11 @@ func (s *Scheduler) Snapshot() Snapshot {
 		out.Classes = append(out.Classes, cs)
 	}
 	if secs > 0 {
-		out.TotalOpsPerSec = float64(out.TotalOps) / secs
-		out.TotalMBps = float64(bytes) / secs / 1e6
+		out.TotalOpsPerSec = finite(float64(out.TotalOps) / secs)
+		out.TotalMBps = finite(float64(bytes) / secs / 1e6)
 	}
 	if s.stats.batches > 0 {
-		out.AvgBatch = float64(s.stats.batchedReqs) / float64(s.stats.batches)
+		out.AvgBatch = finite(float64(s.stats.batchedReqs) / float64(s.stats.batches))
 	}
 	for _, nq := range s.nodes {
 		if nq.peak > out.PeakQueue {

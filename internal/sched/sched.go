@@ -47,19 +47,29 @@ var (
 // Class is a stream's QoS class. Lower values dispatch first.
 type Class uint8
 
-// The four QoS classes. Realtime is for latency-critical point
+// The five QoS classes. Realtime is for latency-critical point
 // lookups, Interactive for ordinary user queries, Batch for scans and
-// bulk loads that only care about throughput. Background is device
-// housekeeping — FTL garbage-collection relocation and erase traffic
-// from internal/volume — and is subject to GC-aware deferral: it may
+// bulk loads that only care about throughput. Accel is in-store
+// processor flash traffic: admitted and window-accounted like host
+// traffic (so accelerators cannot bypass QoS arbitration and starve
+// host streams), but issued on the device-side flash interfaces with
+// no host software, doorbell or DMA charges, and capped by its own
+// token budget (Config.AccelShare). Background is device housekeeping
+// — FTL garbage-collection relocation and erase traffic from
+// internal/volume — and is subject to GC-aware deferral: it may
 // occupy only an urgency-scaled share of the device window (the GC
 // token budget) so foreground tail latency survives collections.
+//
+// Tenant host streams use the classes below Accel; Accel requests
+// enter only through AccelStream (or an attached accel router), and
+// Background is reserved for the volume's GC traffic.
 const (
 	Realtime Class = iota
 	Interactive
 	Batch
+	Accel
 	Background
-	NumClasses = 4
+	NumClasses = 5
 )
 
 func (c Class) String() string {
@@ -70,6 +80,8 @@ func (c Class) String() string {
 		return "interactive"
 	case Batch:
 		return "batch"
+	case Accel:
+		return "accel"
 	case Background:
 		return "background"
 	default:
@@ -98,6 +110,21 @@ type Config struct {
 	// Coalesce merges queued duplicate reads to the same page into a
 	// single flash operation.
 	Coalesce bool
+	// AccelShare is the fraction of the device window (MaxInflight)
+	// that the Accel class — in-store processor flash reads — may
+	// occupy per node: its token budget, mirroring the GC budget. ISP
+	// reads are granted window slots by the dispatcher but issue on
+	// the device-side flash interfaces (no host software, doorbell or
+	// DMA), so this budget is the only thing bounding how hard
+	// accelerators can hit a card while host streams share it. Zero
+	// defaults to 0.5, and the budget never rounds below one slot:
+	// there is deliberately no zero-budget setting, because an
+	// admitted Accel read can ONLY ever issue through these tokens —
+	// a zero budget would wedge it in the queue forever. A cluster
+	// with no ISP traffic pays nothing for the reservation (the accel
+	// dispatch pass is a no-op and the host classes use the full
+	// window); to forbid ISP work entirely, don't open AccelStreams.
+	AccelShare float64
 	// GCDefer enables GC-aware dispatch of the Background class: each
 	// node gets a token budget of device-window slots Background
 	// requests may occupy, scaled by the node's GC urgency (reported
@@ -119,9 +146,13 @@ func DefaultConfig() Config {
 		BatchSize:   16,
 		AgingRounds: 8,
 		Coalesce:    true,
+		AccelShare:  0.5,
 		GCDefer:     true,
 	}
 }
+
+// defaultAccelShare applies when Config.AccelShare is left zero.
+const defaultAccelShare = 0.5
 
 // gcCriticalUrgency is the urgency at which Background dispatch stops
 // being throttled entirely: the free pool is nearly dry and deferring
@@ -142,6 +173,9 @@ func (c Config) validate() error {
 	if c.AgingRounds <= 0 {
 		return fmt.Errorf("sched: aging rounds %d", c.AgingRounds)
 	}
+	if c.AccelShare < 0 || c.AccelShare > 1 {
+		return fmt.Errorf("sched: accel share %.2f out of [0,1]", c.AccelShare)
+	}
 	return nil
 }
 
@@ -154,10 +188,16 @@ type request struct {
 	addr      core.PageAddr
 	write     bool
 	erase     bool
-	data      []byte
-	rcb       func(data []byte, err error)
-	wcb       func(err error)
-	enq       sim.Time
+	// accel marks a device-side ISP read: admitted at the node that
+	// owns the flash page, granted a window slot under the Accel token
+	// budget, and issued from the origin node's ISP path instead of
+	// riding a host doorbell batch.
+	accel  bool
+	origin int // issuing node of an accel read
+	data   []byte
+	rcb    func(data []byte, err error)
+	wcb    func(err error)
+	enq    sim.Time
 	// followers are coalesced duplicate reads riding this request's
 	// flash operation; they hold no queue slot of their own.
 	followers []*request
@@ -199,6 +239,9 @@ func (s *Scheduler) AttachRouter(class Class) error {
 	if class >= NumClasses {
 		return fmt.Errorf("sched: class %d out of range", class)
 	}
+	if class == Accel {
+		return fmt.Errorf("sched: %v is the device-side ISP class; host traffic cannot use it", class)
+	}
 	s.cluster.SetHostRouter(func(node int, req core.HostReq) error {
 		r := &request{class: class, statClass: class, addr: req.Addr, write: req.Write, enq: s.eng.Now()}
 		if req.Write {
@@ -227,6 +270,11 @@ func (s *Scheduler) QueueLen(node int) int { return s.nodes[node].qlen }
 // Inflight returns the number of requests a node currently has
 // outstanding at its device.
 func (s *Scheduler) Inflight(node int) int { return s.nodes[node].inflight }
+
+// AccelInflight returns the number of Accel-class reads a node
+// currently has in its device window (always within the accel token
+// budget).
+func (s *Scheduler) AccelInflight(node int) int { return s.nodes[node].accelInflight }
 
 // SetGCUrgency reports how badly a node's FTLs need their Background
 // relocation work to run, from 0 (plenty of free-block headroom) to 1
@@ -268,8 +316,11 @@ type nodeQueue struct {
 	// bgInflight counts Background-class requests in the device
 	// window; the GC token budget caps it.
 	bgInflight int
-	gcUrgency  float64
-	kicked     bool
+	// accelInflight counts Accel-class reads in the device window; the
+	// accel token budget (Config.AccelShare) caps it.
+	accelInflight int
+	gcUrgency     float64
+	kicked        bool
 	// ringing is true while a doorbell's software work occupies the
 	// node's submission thread. The thread is serial, so ringing a
 	// second doorbell early would only commit queued requests to a
@@ -289,8 +340,11 @@ func newNodeQueue(s *Scheduler, node *core.Node) *nodeQueue {
 
 // admit enqueues a request or reports backpressure. Coalesced reads
 // piggyback on an already-queued read and consume no queue slot.
+// Accel reads never coalesce with host reads (or each other): the two
+// paths complete through different hardware (device-side scan vs host
+// DMA), so sharing one flash op would skip real work for one of them.
 func (nq *nodeQueue) admit(r *request) error {
-	if !r.write && !r.erase && nq.s.cfg.Coalesce {
+	if !r.write && !r.erase && !r.accel && nq.s.cfg.Coalesce {
 		if lead, ok := nq.pendingReads[r.addr]; ok {
 			lead.followers = append(lead.followers, r)
 			nq.s.stats.class(r.statClass).coalesced++
@@ -324,7 +378,7 @@ func (nq *nodeQueue) admit(r *request) error {
 	if nq.qlen > nq.peak {
 		nq.peak = nq.qlen
 	}
-	if !r.write && !r.erase && nq.s.cfg.Coalesce {
+	if !r.write && !r.erase && !r.accel && nq.s.cfg.Coalesce {
 		nq.pendingReads[r.addr] = r
 	}
 	nq.kick()
@@ -334,8 +388,13 @@ func (nq *nodeQueue) admit(r *request) error {
 // kick schedules a dispatch round if one is useful and not already
 // scheduled. Dispatch runs as a zero-delay event so that a burst of
 // submissions in the same instant forms one batch instead of many.
+// While a doorbell's software occupies the submission thread, only
+// Accel work can dispatch — the ISP path needs no host thread.
 func (nq *nodeQueue) kick() {
-	if nq.kicked || nq.ringing || nq.qlen == 0 || nq.inflight >= nq.s.cfg.MaxInflight {
+	if nq.kicked || nq.qlen == 0 || nq.inflight >= nq.s.cfg.MaxInflight {
+		return
+	}
+	if nq.ringing && !nq.accelReady() {
 		return
 	}
 	nq.kicked = true
@@ -345,14 +404,36 @@ func (nq *nodeQueue) kick() {
 	})
 }
 
-// dispatch forms one batch and rings one doorbell. At most one
+// accelReady reports whether a queued Accel read could be granted a
+// slot right now under the accel token budget.
+func (nq *nodeQueue) accelReady() bool {
+	return len(nq.q[Accel]) > 0 && nq.accelTokens() > 0
+}
+
+// dispatch runs one round: device-side Accel grants up to the accel
+// token budget, then a host doorbell batch (when the submission
+// thread is free) over the remaining window. Granting Accel first
+// makes the token budget a RESERVATION, not just a cap: under
+// saturating host load the window would otherwise always be full
+// when accel's turn came, and in-store processing would starve on
+// leftovers — the inverse of the bug this class exists to fix. The
+// budget is small (AccelShare of the window), and host latency
+// classes take the rest strict-priority first, so realtime tail
+// latency stays protected.
+func (nq *nodeQueue) dispatch() {
+	nq.dispatchAccel()
+	if !nq.ringing {
+		nq.dispatchHost()
+	}
+}
+
+// dispatchHost forms one batch and rings one doorbell. At most one
 // doorbell occupies the submission thread at a time (see ringing);
 // while its software runs, arrivals and freed inflight slots
-// accumulate so the next doorbell carries a bigger batch.
-func (nq *nodeQueue) dispatch() {
-	if nq.ringing {
-		return
-	}
+// accumulate so the next doorbell carries a bigger batch. The Accel
+// class never joins a doorbell batch: its requests issue device-side
+// (see dispatchAccel).
+func (nq *nodeQueue) dispatchHost() {
 	budget := nq.s.cfg.BatchSize
 	if room := nq.s.cfg.MaxInflight - nq.inflight; room < budget {
 		budget = room
@@ -374,6 +455,9 @@ func (nq *nodeQueue) dispatch() {
 	// zero budget means relocation work is already in flight, so the
 	// class is making progress, not starving.
 	for cl := NumClasses - 1; cl >= 0 && len(batch) < budget; cl-- {
+		if Class(cl) == Accel {
+			continue // never rides a doorbell; see dispatchAccel
+		}
 		if nq.starve[cl] >= nq.s.cfg.AgingRounds && len(nq.q[cl]) > 0 {
 			if Class(cl) == Background && nq.gcTokens(bgTaken) == 0 {
 				continue
@@ -388,6 +472,9 @@ func (nq *nodeQueue) dispatch() {
 	// Strict priority for the remaining slots. Background fills last
 	// and only up to the node's GC token budget.
 	for cl := Class(0); cl < NumClasses && len(batch) < budget; cl++ {
+		if cl == Accel {
+			continue
+		}
 		for len(nq.q[cl]) > 0 && len(batch) < budget {
 			if cl == Background && nq.gcTokens(bgTaken) == 0 {
 				break
@@ -400,6 +487,9 @@ func (nq *nodeQueue) dispatch() {
 		}
 	}
 	for cl := 0; cl < NumClasses; cl++ {
+		if Class(cl) == Accel {
+			continue // token-paced, not starving; never age-boosted
+		}
 		switch {
 		case took[cl] > 0 || len(nq.q[cl]) == 0:
 			nq.starve[cl] = 0
@@ -435,6 +525,44 @@ func (nq *nodeQueue) dispatch() {
 		nq.ringing = false
 		nq.kick()
 	})
+}
+
+// dispatchAccel grants queued Accel-class reads device-window slots —
+// up to the accel token budget — and issues each on the device-side
+// ISP path from its origin node: the FPGA arbiter hands flash access
+// to the in-store processor directly, with no doorbell, no submission
+// thread, and no host DMA. The grant still occupies a window slot, so
+// the dispatcher's picture of device occupancy includes ISP traffic —
+// the whole point of admitting it here.
+func (nq *nodeQueue) dispatchAccel() {
+	for len(nq.q[Accel]) > 0 && nq.inflight < nq.s.cfg.MaxInflight && nq.accelTokens() > 0 {
+		r := nq.pop(Accel)
+		nq.inflight++
+		nq.accelInflight++
+		req := r
+		nq.s.cluster.Node(req.origin).ISPReadDirect(req.addr, func(data []byte, err error) {
+			nq.complete(req, data, err)
+		})
+	}
+}
+
+// accelTokens returns how many more Accel reads may be granted window
+// slots right now: the accel token budget, a fixed share of the
+// device window (Config.AccelShare), never below one slot.
+func (nq *nodeQueue) accelTokens() int {
+	share := nq.s.cfg.AccelShare
+	if share == 0 {
+		share = defaultAccelShare
+	}
+	budget := int(share * float64(nq.s.cfg.MaxInflight))
+	if budget < 1 {
+		budget = 1
+	}
+	t := budget - nq.accelInflight
+	if t < 0 {
+		return 0
+	}
+	return t
 }
 
 // promote moves a queued read to a higher-priority class queue (its
@@ -492,6 +620,9 @@ func (nq *nodeQueue) complete(r *request, data []byte, err error) {
 	nq.inflight--
 	if r.class == Background {
 		nq.bgInflight--
+	}
+	if r.accel {
+		nq.accelInflight--
 	}
 	nq.s.finish(r, data, err)
 	for _, f := range r.followers {

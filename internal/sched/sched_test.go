@@ -42,10 +42,10 @@ func runMix(t *testing.T, cfg sched.Config) (sched.Snapshot, sim.Time) {
 			Name:   "t",
 			Node:   i % 2,
 			Target: -1,
-			// Tenant traffic spans the three foreground classes;
-			// Background is reserved for FTL housekeeping and is
-			// deliberately throttled by the GC token budget.
-			Class:   sched.Class(i % int(sched.Background)),
+			// Tenant traffic spans the three foreground classes; Accel
+			// is device-side ISP traffic and Background is FTL
+			// housekeeping, both off-limits to host streams.
+			Class:   sched.Class(i % int(sched.Accel)),
 			Pattern: workload.Pattern(i % 4),
 			Seed:    uint64(100 + i),
 		})

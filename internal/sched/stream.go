@@ -31,6 +31,9 @@ func (s *Scheduler) NewStream(name string, node int, class Class) (*Stream, erro
 	if class >= NumClasses {
 		return nil, fmt.Errorf("sched: class %d out of range", class)
 	}
+	if class == Accel {
+		return nil, fmt.Errorf("sched: %v requests enter through AccelStream, not host streams", class)
+	}
 	return &Stream{s: s, name: name, node: node, class: class}, nil
 }
 

@@ -8,7 +8,10 @@ import (
 
 // Tally accumulates scalar samples (latencies, sizes) and reports
 // count/mean/min/max and percentiles. It keeps all samples; BlueDBM
-// experiments record at most a few million.
+// experiments record at most a few million. Non-finite samples are
+// rejected at Add (and counted via Dropped): one NaN would poison the
+// mean and make the percentile sort order undefined, and those values
+// flow straight into committed BENCH_*.json artifacts.
 type Tally struct {
 	name    string
 	samples []float64
@@ -16,6 +19,7 @@ type Tally struct {
 	min     float64
 	max     float64
 	sorted  bool
+	dropped int
 }
 
 // NewTally creates an empty tally.
@@ -23,8 +27,12 @@ func NewTally(name string) *Tally {
 	return &Tally{name: name, min: math.Inf(1), max: math.Inf(-1)}
 }
 
-// Add records one sample.
+// Add records one sample. NaN and ±Inf are dropped (see Dropped).
 func (t *Tally) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.dropped++
+		return
+	}
 	t.samples = append(t.samples, v)
 	t.sum += v
 	if v < t.min {
@@ -35,6 +43,9 @@ func (t *Tally) Add(v float64) {
 	}
 	t.sorted = false
 }
+
+// Dropped returns how many non-finite samples Add rejected.
+func (t *Tally) Dropped() int { return t.dropped }
 
 // AddTime records a virtual duration in microseconds.
 func (t *Tally) AddTime(d Time) { t.Add(d.Micros()) }
@@ -66,11 +77,18 @@ func (t *Tally) Max() float64 {
 	return t.max
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) by
-// nearest-rank, or 0 with no samples.
+// Percentile returns the p-th percentile by nearest-rank, or 0 with
+// no samples. p is clamped to [0,100]; a NaN p yields 0 rather than
+// an arbitrary rank (int(NaN) is platform-defined garbage).
 func (t *Tally) Percentile(p float64) float64 {
-	if len(t.samples) == 0 {
+	if len(t.samples) == 0 || math.IsNaN(p) {
 		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
 	}
 	if !t.sorted {
 		sort.Float64s(t.samples)

@@ -100,6 +100,7 @@ func (v *Volume) locate(lpn int) (*card, int) {
 type Stats struct {
 	HostReads     int64   `json:"host_reads"`
 	HostWrites    int64   `json:"host_writes"`
+	HostTrims     int64   `json:"host_trims"`
 	FlashPrograms int64   `json:"flash_programs"`
 	FlashErases   int64   `json:"flash_erases"`
 	GCMoves       int64   `json:"gc_moves"`
@@ -117,6 +118,7 @@ func (s Stats) Delta(since Stats) Stats {
 	d := Stats{
 		HostReads:     s.HostReads - since.HostReads,
 		HostWrites:    s.HostWrites - since.HostWrites,
+		HostTrims:     s.HostTrims - since.HostTrims,
 		FlashPrograms: s.FlashPrograms - since.FlashPrograms,
 		FlashErases:   s.FlashErases - since.FlashErases,
 		GCMoves:       s.GCMoves - since.GCMoves,
@@ -138,6 +140,7 @@ func (v *Volume) Stats() Stats {
 		f := cd.f
 		st.HostReads += f.HostReads
 		st.HostWrites += f.HostWrites
+		st.HostTrims += f.HostTrims
 		st.FlashPrograms += f.FlashPrograms
 		st.FlashErases += f.FlashErases
 		st.GCMoves += f.GCMoves
@@ -172,10 +175,11 @@ type Stream struct {
 	class sched.Class
 }
 
-// NewStream opens a logical stream at the given QoS class. Background
-// is reserved for the volume's own GC traffic.
+// NewStream opens a logical stream at the given QoS class. Accel is
+// reserved for device-side ISP reads (sched.AccelStream) and
+// Background for the volume's own GC traffic.
 func (v *Volume) NewStream(name string, class sched.Class) (*Stream, error) {
-	if class >= sched.Background {
+	if class >= sched.Accel {
 		return nil, fmt.Errorf("volume: class %v not usable by tenants", class)
 	}
 	return &Stream{v: v, name: name, class: class}, nil
@@ -207,13 +211,57 @@ func (st *Stream) Write(lpn int, data []byte, cb func(err error)) {
 	cd.f.WriteTagged(clpn, data, ftl.IOTag(st.class), cb)
 }
 
-// Trim drops a logical page.
+// Trim drops a logical page. A trim is a host-side metadata update in
+// the card's FTL (the mapping lives in host DRAM; no flash command is
+// issued), so there is no operation for the scheduler to admit — but
+// it is counted (Stats.HostTrims, per-window in Stats.Delta) so trims
+// are no longer invisible to the volume's accounting.
 func (st *Stream) Trim(lpn int) error {
 	if lpn < 0 || lpn >= st.v.Pages() {
 		return fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
 	}
 	cd, clpn := st.v.locate(lpn)
 	return cd.f.Trim(clpn)
+}
+
+// Locate resolves a logical page to its current physical location:
+// the physical-address query of the paper's Figure 8 (step 1). Host
+// software hands the result to an in-store engine, which streams the
+// page directly off the flash (through sched.AccelStream) with no
+// host on the data path. The address is a snapshot — an overwrite,
+// trim, or GC relocation of the page invalidates it — so engines scan
+// read-stable data or re-query after mutation.
+func (st *Stream) Locate(lpn int) (core.PageAddr, error) {
+	if lpn < 0 || lpn >= st.v.Pages() {
+		return core.PageAddr{}, fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
+	}
+	cd, clpn := st.v.locate(lpn)
+	a, err := cd.f.Phys(clpn)
+	if err != nil {
+		return core.PageAddr{}, err
+	}
+	return core.PageAddr{Node: cd.node, Card: cd.idx, Addr: a}, nil
+}
+
+// PhysMap resolves the logical range [lo, hi) to physical page
+// addresses: addrs[i] is the current location of logical page lo+i.
+// It is the bulk form of Stream.Locate — the address list an origin
+// node computes once per query and partitions over the cluster's
+// in-store engines. The same staleness caveat applies to every entry.
+func (v *Volume) PhysMap(lo, hi int) ([]core.PageAddr, error) {
+	if lo < 0 || hi > v.Pages() || lo > hi {
+		return nil, fmt.Errorf("%w: [%d,%d)", ErrOutOfRange, lo, hi)
+	}
+	addrs := make([]core.PageAddr, 0, hi-lo)
+	for lpn := lo; lpn < hi; lpn++ {
+		cd, clpn := v.locate(lpn)
+		a, err := cd.f.Phys(clpn)
+		if err != nil {
+			return nil, fmt.Errorf("lpn %d: %w", lpn, err)
+		}
+		addrs = append(addrs, core.PageAddr{Node: cd.node, Card: cd.idx, Addr: a})
+	}
+	return addrs, nil
 }
 
 // --- per-card FTL plumbing -------------------------------------------
@@ -249,6 +297,11 @@ type writeSeq struct {
 func newCard(v *Volume, node, idx int) (*card, error) {
 	cd := &card{v: v, node: node, idx: idx, wseqs: make(map[ftl.IOTag]*writeSeq)}
 	for cl := sched.Class(0); cl < sched.NumClasses; cl++ {
+		if cl == sched.Accel {
+			// Device-side ISP reads never flow through the FTL's host
+			// path; the Accel slot stays nil and classOf never maps to it.
+			continue
+		}
 		st, err := v.s.NewStream(fmt.Sprintf("vol-n%d-c%d-%s", node, idx, cl), node, cl)
 		if err != nil {
 			return nil, err
@@ -281,12 +334,15 @@ func (cd *card) pushUrgency() {
 	v.s.SetGCUrgency(cd.node, u)
 }
 
-// classOf maps an FTL traffic tag onto a scheduler class.
+// classOf maps an FTL traffic tag onto a scheduler class. Tags only
+// ever carry tenant classes (NewStream rejects Accel and Background),
+// so anything else — including a stray Accel-valued tag — lands on
+// Batch rather than a class the card holds no stream for.
 func classOf(tag ftl.IOTag) sched.Class {
 	if tag == ftl.TagGC {
 		return sched.Background
 	}
-	if tag >= ftl.IOTag(sched.NumClasses) {
+	if tag >= ftl.IOTag(sched.Accel) {
 		return sched.Batch
 	}
 	return sched.Class(tag)

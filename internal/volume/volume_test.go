@@ -207,3 +207,133 @@ func TestVolumeRangeErrors(t *testing.T) {
 		t.Fatal("tenant stream on Background class accepted")
 	}
 }
+
+// TestTrimCountedInStats: trims are host-side metadata updates with no
+// flash op to admit, but they must be visible in the volume's counters
+// and their windowed deltas (they change GC economics).
+func TestTrimCountedInStats(t *testing.T) {
+	c, s, v := testVolume(t, 1, ftl.DefaultConfig())
+	st, err := v.NewStream("trim", sched.Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpn := 0; lpn < 4; lpn++ {
+		st.Write(lpn, pageData(v.PageSize(), lpn), func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+		})
+	}
+	c.Run()
+	base := v.Stats()
+	opsBefore := s.Snapshot().TotalOps
+	if err := st.Trim(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Trim(2); err != nil {
+		t.Fatal(err)
+	}
+	// Trimming an already-unmapped page is still a trim command.
+	if err := st.Trim(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Trim(v.Pages()); err == nil {
+		t.Fatal("out-of-range trim accepted")
+	}
+	d := v.Stats().Delta(base)
+	if d.HostTrims != 3 {
+		t.Fatalf("trim delta = %d, want 3", d.HostTrims)
+	}
+	if v.Stats().HostTrims != 3 {
+		t.Fatalf("total trims = %d, want 3", v.Stats().HostTrims)
+	}
+	// No phantom flash traffic was admitted for the metadata ops.
+	c.Run()
+	if got := s.Snapshot().TotalOps; got != opsBefore {
+		t.Fatalf("trims admitted %d scheduler ops", got-opsBefore)
+	}
+	// The trimmed page reads as unmapped; the untrimmed neighbor is intact.
+	var terr error
+	st.Read(1, func(_ []byte, err error) { terr = err })
+	var data3 []byte
+	st.Read(3, func(d []byte, err error) {
+		if err != nil {
+			t.Errorf("read 3: %v", err)
+		}
+		data3 = d
+	})
+	c.Run()
+	if terr == nil {
+		t.Fatal("trimmed page still readable")
+	}
+	if !bytes.Equal(data3, pageData(v.PageSize(), 3)) {
+		t.Fatal("untrimmed page corrupted by trim")
+	}
+}
+
+// TestLocateAndPhysMap: the physical-address query resolves to the
+// real location (reading the physical page raw returns the logical
+// content), PhysMap agrees with Locate, and an overwrite moves the
+// mapping — the documented staleness.
+func TestLocateAndPhysMap(t *testing.T) {
+	c, _, v := testVolume(t, 2, ftl.DefaultConfig())
+	st, err := v.NewStream("loc", sched.Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 16
+	for lpn := 0; lpn < n; lpn++ {
+		st.Write(lpn, pageData(v.PageSize(), lpn), func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+		})
+	}
+	c.Run()
+	addrs, err := v.PhysMap(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpn := 0; lpn < n; lpn++ {
+		a, err := st.Locate(lpn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != addrs[lpn] {
+			t.Fatalf("lpn %d: Locate %v != PhysMap %v", lpn, a, addrs[lpn])
+		}
+		var raw []byte
+		c.Node(a.Node).ReadLocal(a.Card, a.Addr, func(d []byte, err error) {
+			if err != nil {
+				t.Errorf("raw read: %v", err)
+			}
+			raw = d
+		})
+		c.Run()
+		if !bytes.Equal(raw[:v.PageSize()], pageData(v.PageSize(), lpn)) {
+			t.Fatalf("lpn %d: physical page %v holds wrong data", lpn, a)
+		}
+	}
+	// Unmapped pages and bad ranges fail cleanly.
+	if _, err := st.Locate(n); err == nil {
+		t.Fatal("unmapped Locate accepted")
+	}
+	if _, err := v.PhysMap(0, v.Pages()+1); err == nil {
+		t.Fatal("out-of-range PhysMap accepted")
+	}
+	// An overwrite remaps: the snapshot goes stale.
+	before := addrs[0]
+	st.Write(0, pageData(v.PageSize(), 99), func(err error) {
+		if err != nil {
+			t.Errorf("overwrite: %v", err)
+		}
+	})
+	c.Run()
+	after, err := st.Locate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Fatal("overwrite did not move the physical mapping")
+	}
+}

@@ -51,6 +51,13 @@ type VolumeStreamSpec struct {
 // standard setup step before a churn run (content is deterministic in
 // seed).
 func SeedVolume(v *volume.Volume, c *core.Cluster, pages, depth int, seed uint64) error {
+	return SeedVolumeWith(v, c, pages, depth, RandomPages(seed))
+}
+
+// SeedVolumeWith is SeedVolume with caller-supplied page content —
+// the setup step for experiments that need structured data in the
+// volume (planted search needles, record pages).
+func SeedVolumeWith(v *volume.Volume, c *core.Cluster, pages, depth int, gen PageFiller) error {
 	if pages <= 0 || pages > v.Pages() {
 		return fmt.Errorf("workload: seeding %d pages of a %d-page volume", pages, v.Pages())
 	}
@@ -61,7 +68,6 @@ func SeedVolume(v *volume.Volume, c *core.Cluster, pages, depth int, seed uint64
 	if err != nil {
 		return err
 	}
-	gen := RandomPages(seed)
 	var firstErr error
 	next := 0
 	var issue func()
@@ -95,6 +101,19 @@ func SeedVolume(v *volume.Volume, c *core.Cluster, pages, depth int, seed uint64
 // events to count — overload shows up as latency.
 func RunVolumeClosedLoop(v *volume.Volume, c *core.Cluster, specs []VolumeStreamSpec,
 	depth, requests int) (LoopResult, error) {
+	return RunVolumeClosedLoopWith(v, c, specs, depth, requests, nil)
+}
+
+// RunVolumeClosedLoopWith is RunVolumeClosedLoop with a concurrent
+// background task sharing the measurement window: concurrent (when
+// non-nil) is invoked once, before the engine drains, with a live()
+// probe reporting whether any primary stream is still issuing. It is
+// the hook for co-running load that is not itself a volume stream —
+// distributed ISP queries in the contention experiments — for exactly
+// the window the host streams define: schedule work, check live()
+// before starting more, and stop when it reports false.
+func RunVolumeClosedLoopWith(v *volume.Volume, c *core.Cluster, specs []VolumeStreamSpec,
+	depth, requests int, concurrent func(live func() bool)) (LoopResult, error) {
 	if depth <= 0 || requests <= 0 {
 		return LoopResult{}, fmt.Errorf("workload: depth %d, requests %d", depth, requests)
 	}
@@ -192,6 +211,9 @@ func RunVolumeClosedLoop(v *volume.Volume, c *core.Cluster, specs []VolumeStream
 		} else {
 			issueOne()
 		}
+	}
+	if concurrent != nil {
+		concurrent(func() bool { return primariesLeft > 0 })
 	}
 	c.Run()
 	return res, nil

@@ -217,11 +217,12 @@ func newDriver(s *sched.Scheduler, c *core.Cluster, specs []StreamSpec, readPage
 	// block in the stripe, so any multiple is block-aligned.
 	blockSpan := p.Geometry.Buses * p.Geometry.ChipsPerBus * p.CardsPerNode * p.Geometry.PagesPerBlock
 	base := ((readPages + blockSpan - 1) / blockSpan) * blockSpan
-	// Append regions are dealt to the tenant classes only: Background
-	// is reserved for FTL housekeeping and never writes through these
-	// drivers, so partitioning over NumClasses would dead-reserve a
-	// quarter of every node's writable pages.
-	tenantClasses := int(sched.Background)
+	// Append regions are dealt to the tenant classes only: Accel is
+	// device-side ISP reads and Background is FTL housekeeping, and
+	// neither ever writes through these drivers, so partitioning over
+	// NumClasses would dead-reserve two fifths of every node's
+	// writable pages.
+	tenantClasses := int(sched.Accel)
 	per := ((core.PagesPerNode(p) - base) / tenantClasses / blockSpan) * blockSpan
 	d := &driver{
 		s: s, c: c, readPages: readPages, retryDelay: retryDelay,
@@ -233,8 +234,8 @@ func newDriver(s *sched.Scheduler, c *core.Cluster, specs []StreamSpec, readPage
 			start := base + cl*per
 			d.regions[n][cl] = appendRegion{next: start, limit: start + per}
 		}
-		// Background keeps an empty region: a (misconfigured) spec
-		// writing at that class falls back to reads, counted in
+		// Accel and Background keep empty regions: a (misconfigured)
+		// spec writing at those classes falls back to reads, counted in
 		// WriteFallbacks, instead of violating NAND ordering.
 	}
 	for i, sp := range specs {

@@ -4,6 +4,11 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/volume"
 )
 
 func TestRandomPagesDeterministic(t *testing.T) {
@@ -93,5 +98,62 @@ func TestNearDuplicateSet(t *testing.T) {
 	}
 	if _, _, err := NearDuplicateSet(10, 256, 99, 1, 5); err == nil {
 		t.Fatal("out-of-range target accepted")
+	}
+}
+
+// TestVolumeClosedLoopConcurrentHook: the concurrent hook fires
+// before the drain with a live() probe that tracks the primary
+// streams' lifetime — the seam the ISP contention experiments co-run
+// queries on.
+func TestVolumeClosedLoopConcurrentHook(t *testing.T) {
+	pr := core.DefaultParams(1)
+	pr.Geometry.BlocksPerChip = 8
+	pr.Geometry.PagesPerBlock = 8
+	c, err := core.NewCluster(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.New(c, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := volume.New(c, s, volume.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SeedVolume(v, c, v.Pages(), 16, 3); err != nil {
+		t.Fatal(err)
+	}
+	specs := []VolumeStreamSpec{{Name: "p", Class: sched.Interactive, Seed: 4}}
+	liveAtStart := false
+	checks := 0
+	var liveFn func() bool
+	hook := func(live func() bool) {
+		liveAtStart = live()
+		liveFn = live
+		var tick func()
+		tick = func() {
+			checks++
+			if live() {
+				c.Eng.After(50*sim.Microsecond, tick)
+			}
+		}
+		tick()
+	}
+	res, rerr := RunVolumeClosedLoopWith(v, c, specs, 2, 32, hook)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if res.Completed != 32 {
+		t.Fatalf("completed %d, want 32", res.Completed)
+	}
+	if !liveAtStart {
+		t.Fatal("live() false before the run started")
+	}
+	if checks < 2 {
+		t.Fatalf("hook ticked %d times; never observed the window", checks)
+	}
+	if liveFn() {
+		t.Fatal("live() still true after the drain")
 	}
 }
