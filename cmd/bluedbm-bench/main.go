@@ -13,6 +13,8 @@
 //	                               # GC-aware vs GC-oblivious QoS comparison
 //	bluedbm-bench -run isp -json BENCH_ISP.json
 //	                               # distributed ISP-F vs host-mediated + QoS
+//	bluedbm-bench -run fs -json BENCH_FS.json
+//	                               # blockfs-on-FTL vs cluster RFS vs RFS + ISP file scans
 //	bluedbm-bench -list            # list experiment ids
 package main
 
@@ -99,11 +101,28 @@ func ispRunner(short bool, jsonPath string) func() (string, error) {
 	}
 }
 
+// fsRunner drives the file-stack experiment: blockfs-on-FTL vs the
+// cluster-wide RFS vs cluster RFS with distributed/host-mediated file
+// scans (the paper's Figure 8 pipeline end-to-end).
+func fsRunner(short bool, jsonPath string) func() (string, error) {
+	return func() (string, error) {
+		res, err := experiments.FileStack(experiments.DefaultFileStack(short))
+		if err != nil {
+			return "", err
+		}
+		if err := writeJSON(jsonPath, res); err != nil {
+			return "", err
+		}
+		return experiments.FormatFileStack(res), nil
+	}
+}
+
 func allRunners(short bool, jsonPath string) []runner {
 	return []runner{
 		{"sched", "multi-stream scheduler: QoS latency and batched-submission throughput", true, schedRunner(short, jsonPath)},
 		{"gc", "logical volume + FTL garbage collection: GC-aware vs GC-oblivious realtime p99", true, gcRunner(short, jsonPath)},
 		{"isp", "distributed in-store processing: ISP-F vs host-mediated throughput + realtime p99 under contention", true, ispRunner(short, jsonPath)},
+		{"fs", "file stack: blockfs-on-FTL vs cluster RFS vs cluster RFS + distributed file scans (Figure 8 end-to-end)", true, fsRunner(short, jsonPath)},
 		{"table1", "Artix-7 flash controller resources", false, func() (string, error) {
 			return experiments.FormatTable1(8), nil
 		}},

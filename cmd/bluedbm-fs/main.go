@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fs, err := c.Node(0).NewFS(0, rfs.DefaultConfig())
+	fs, err := rfs.New(c.Node(0).NewIface(0, "fs"), c.Params.Geometry, rfs.DefaultConfig())
 	if err != nil {
 		fatal(err)
 	}
@@ -67,7 +67,7 @@ func main() {
 		}
 		buses := map[int]int{}
 		for _, a := range addrs {
-			buses[a.Bus]++
+			buses[a.Addr.Bus]++
 		}
 		fmt.Printf("  %s: %d pages, physical layout over %d buses (handle %d)\n",
 			name, f.Pages(), len(buses), f.Handle())

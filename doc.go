@@ -28,15 +28,22 @@
 //	internal/ftl          page-mapped FTL: mapping, GC, wear leveling
 //	internal/volume       cluster-wide logical volume over per-card FTLs;
 //	                      physical-address queries (Locate/PhysMap)
-//	internal/rfs          RFS-style flash file system (§4)
-//	internal/blockfs      block file system over the FTL
+//	internal/rfs          RFS-style flash file system (§4): FS core generic
+//	                      over a Backend — per-card (flashserver iface) or
+//	                      cluster-wide (log striped over every chip of every
+//	                      node, I/O admitted through sched at the handle's
+//	                      class, cleaning on Background) — with cluster-wide
+//	                      physical-address queries (Figure 8 step 1)
+//	internal/blockfs      conventional file system over a block Device
+//	                      (per-card FTL or a volume stream)
 //	internal/altstore     comparator devices (SSD/HDD models)
 //	internal/isp          in-store processor framework + FIFO unit scheduler
 //	internal/accel/...    the accelerators: lsh, graph, search, tablescan,
 //	                      mapreduce, spmv
 //	internal/ispvol       distributed in-store processing over
 //	                      volume+sched+fabric: per-node engines admitted at
-//	                      the Accel class, fan-out/merge queries
+//	                      the Accel class, fan-out/merge queries over volume
+//	                      ranges and over cluster-RFS files (Figure 8)
 //	internal/workload     deterministic generators and traffic drivers
 //	internal/experiments  the paper's tables and figures + the sched/gc/isp
 //	                      benchmark experiments
@@ -49,6 +56,6 @@
 // bench harness in bench_test.go regenerates every table and figure of
 // the paper's evaluation; cmd/bluedbm-bench does the same from the
 // command line, including the beyond-the-paper experiments (-run
-// sched, -run gc, -run isp) whose committed artifacts are
-// BENCH_SCHED.json, BENCH_GC.json and BENCH_ISP.json.
+// sched, -run gc, -run isp, -run fs) whose committed artifacts are
+// BENCH_SCHED.json, BENCH_GC.json, BENCH_ISP.json and BENCH_FS.json.
 package repro

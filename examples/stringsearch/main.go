@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fs, err := cluster.Node(0).NewFS(0, rfs.DefaultConfig())
+	fs, err := rfs.New(cluster.Node(0).NewIface(0, "fs"), cluster.Params.Geometry, rfs.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

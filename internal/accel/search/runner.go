@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hostmodel"
+	"repro/internal/nand"
 	"repro/internal/rfs"
 	"repro/internal/sim"
 )
@@ -38,9 +39,21 @@ func SearchISP(c *core.Cluster, nodeID, card int, f *rfs.File, needle []byte) (*
 	if err != nil {
 		return nil, err
 	}
-	addrs, err := f.PhysicalAddrs()
+	paddrs, err := f.PhysicalAddrs()
 	if err != nil {
 		return nil, err
+	}
+	addrs := make([]nand.Addr, len(paddrs))
+	for i, a := range paddrs {
+		// This runner drives one card's private engine interfaces; a
+		// file striped anywhere else must go through the distributed
+		// ISP layer (ispvol.SearchFile) instead of being silently read
+		// at the wrong location.
+		if a.Node != nodeID || a.Card != card {
+			return nil, fmt.Errorf("search: file page %d lives on n%d.card%d, not n%d.card%d; use ispvol.SearchFile for cluster files",
+				i, a.Node, a.Card, nodeID, card)
+		}
+		addrs[i] = a.Addr
 	}
 	if len(addrs) == 0 {
 		return &Result{}, nil

@@ -144,7 +144,7 @@ func searchCluster(t *testing.T) (*core.Cluster, *rfs.FS) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs, err := c.Node(0).NewFS(0, rfs.DefaultConfig())
+	fs, err := rfs.New(c.Node(0).NewIface(0, "fs"), c.Params.Geometry, rfs.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

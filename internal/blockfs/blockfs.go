@@ -2,18 +2,19 @@
 // software stack (paper §4): a conventional file system that treats
 // the FTL's logical block space as a disk, the way ext2/3/4 or a
 // database would sit on the driver-level FTL. It is deliberately
-// flash-oblivious — bitmap allocation, in-place overwrites — which is
+// flash-oblivious — bitmap allocation, in-place overwrites, and
+// on-device metadata (inode table, allocation bitmap, periodic
+// journal commits) written through the block device — which is
 // exactly what makes the FTL underneath do extra work; the ablation
 // benchmarks compare its end-to-end write amplification against the
-// flash-aware rfs package.
+// flash-aware rfs package, which keeps the equivalent state in host
+// memory as its own page mapping (paper §4).
 package blockfs
 
 import (
 	"errors"
 	"fmt"
 	"sort"
-
-	"repro/internal/ftl"
 )
 
 // Block-FS errors.
@@ -25,29 +26,78 @@ var (
 	ErrDataSize  = errors.New("blockfs: data must be exactly one page")
 )
 
-// FS is a conventional file system over an FTL block device.
+// Device is the logical block device the file system formats: a
+// per-card FTL (*ftl.FTL) or a QoS-classed stream of the cluster-wide
+// logical volume (*volume.Stream) — either way a flat page space the
+// FS treats like a disk, which is the point of the ablation.
+type Device interface {
+	LogicalPages() int
+	PageSize() int
+	Read(lpn int, cb func(data []byte, err error))
+	Write(lpn int, data []byte, cb func(err error))
+	Trim(lpn int) error
+}
+
+// journalEvery is the metadata commit interval: like a disk file
+// system's journal flush, every Nth in-place data write also rewrites
+// the file's inode-table page through the device (mtime, journal
+// commit record). Allocation changes (appends, removes) write
+// metadata unconditionally — a disk FS must persist its allocation
+// state. This is the §4 "small random metadata writes" behaviour that
+// a conventional stack pushes through the FTL and RFS keeps in host
+// memory as its own mapping.
+const journalEvery = 8
+
+// FS is a conventional file system over a logical block device.
 type FS struct {
-	dev *ftl.FTL
+	dev Device
 
 	bitmap []bool // logical page allocation
 	files  map[string]*inode
 	free   int
+
+	formatLPN   int // superblock + allocation bitmap page
+	metaBuf     []byte
+	sinceCommit int
+
+	// MetaWrites counts metadata page writes issued through the
+	// device (inode table, allocation bitmap, journal commits).
+	MetaWrites int64
 }
 
 type inode struct {
 	name  string
 	pages []int // logical page numbers, in file order
+	meta  int   // LPN of this file's inode-table page
 }
 
-// New formats a volume on the FTL.
-func New(dev *ftl.FTL) *FS {
+// New formats a volume on a block device: the first logical page
+// holds the superblock and allocation bitmap, written at format time
+// like any disk file system would.
+func New(dev Device) *FS {
 	n := dev.LogicalPages()
-	return &FS{
-		dev:    dev,
-		bitmap: make([]bool, n),
-		files:  make(map[string]*inode),
-		free:   n,
+	fs := &FS{
+		dev:     dev,
+		bitmap:  make([]bool, n),
+		files:   make(map[string]*inode),
+		free:    n,
+		metaBuf: make([]byte, dev.PageSize()),
 	}
+	if lpn, err := fs.alloc(); err == nil {
+		fs.formatLPN = lpn
+		fs.writeMeta(lpn, nil)
+	}
+	return fs
+}
+
+// writeMeta issues one metadata page write; cb may be nil
+// (fire-and-forget, the way write-back metadata caching behaves).
+func (fs *FS) writeMeta(lpn int, cb func(error)) {
+	fs.MetaWrites++
+	if cb == nil {
+		cb = func(error) {}
+	}
+	fs.dev.Write(lpn, fs.metaBuf, cb)
 }
 
 // FreePages returns the unallocated logical pages.
@@ -75,13 +125,19 @@ type File struct {
 	nd *inode
 }
 
-// Create makes an empty file.
+// Create makes an empty file, allocating and writing its inode-table
+// page.
 func (fs *FS) Create(name string) (*File, error) {
 	if _, dup := fs.files[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	nd := &inode{name: name}
+	meta, err := fs.alloc()
+	if err != nil {
+		return nil, err
+	}
+	nd := &inode{name: name, meta: meta}
 	fs.files[name] = nd
+	fs.writeMeta(meta, nil)
 	return &File{fs: fs, nd: nd}, nil
 }
 
@@ -94,7 +150,8 @@ func (fs *FS) Open(name string) (*File, error) {
 	return &File{fs: fs, nd: nd}, nil
 }
 
-// Remove deletes a file and trims its logical pages.
+// Remove deletes a file and trims its logical pages, persisting the
+// allocation change (bitmap page) like a disk FS.
 func (fs *FS) Remove(name string) error {
 	nd, ok := fs.files[name]
 	if !ok {
@@ -106,7 +163,11 @@ func (fs *FS) Remove(name string) error {
 		// A good citizen trims; the FTL reclaims the page lazily.
 		_ = fs.dev.Trim(lpn)
 	}
+	fs.bitmap[nd.meta] = false
+	fs.free++
+	_ = fs.dev.Trim(nd.meta)
 	delete(fs.files, name)
+	fs.writeMeta(fs.formatLPN, nil)
 	return nil
 }
 
@@ -123,7 +184,22 @@ func (fs *FS) List() []string {
 // Pages returns the file length in pages.
 func (f *File) Pages() int { return len(f.nd.pages) }
 
-// AppendPage adds a page at the end of the file.
+// PageLPN returns the device LPN backing page idx — the FIBMAP-style
+// query that lets instrumentation address a file's pages through the
+// block device directly. Unlike rfs physical addresses it never goes
+// stale: blockfs overwrites in place, so a page keeps its LPN for the
+// file's lifetime.
+func (f *File) PageLPN(idx int) (int, error) {
+	if idx < 0 || idx >= len(f.nd.pages) {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBadOffset, idx, len(f.nd.pages))
+	}
+	return f.nd.pages[idx], nil
+}
+
+// AppendPage adds a page at the end of the file. The allocation
+// changed, so the file's inode-table page is rewritten behind the
+// data — two device writes per appended page, the conventional-FS tax
+// RFS avoids by keeping its mapping in host memory.
 func (f *File) AppendPage(data []byte, cb func(err error)) {
 	lpn, err := f.fs.alloc()
 	if err != nil {
@@ -131,11 +207,18 @@ func (f *File) AppendPage(data []byte, cb func(err error)) {
 		return
 	}
 	f.nd.pages = append(f.nd.pages, lpn)
-	f.fs.dev.Write(lpn, data, cb)
+	f.fs.dev.Write(lpn, data, func(werr error) {
+		if werr != nil {
+			cb(werr)
+			return
+		}
+		f.fs.writeMeta(f.nd.meta, cb)
+	})
 }
 
 // WritePage overwrites page idx in place — the disk idiom that forces
-// the FTL to remap and eventually garbage-collect.
+// the FTL to remap and eventually garbage-collect — with a journal
+// commit (inode-table rewrite) every journalEvery-th write.
 func (f *File) WritePage(idx int, data []byte, cb func(err error)) {
 	if idx < 0 || idx > len(f.nd.pages) {
 		cb(fmt.Errorf("%w: %d of %d", ErrBadOffset, idx, len(f.nd.pages)))
@@ -145,7 +228,18 @@ func (f *File) WritePage(idx int, data []byte, cb func(err error)) {
 		f.AppendPage(data, cb)
 		return
 	}
-	f.fs.dev.Write(f.nd.pages[idx], data, cb)
+	f.fs.sinceCommit++
+	commit := f.fs.sinceCommit >= journalEvery
+	if commit {
+		f.fs.sinceCommit = 0
+	}
+	f.fs.dev.Write(f.nd.pages[idx], data, func(werr error) {
+		if werr != nil || !commit {
+			cb(werr)
+			return
+		}
+		f.fs.writeMeta(f.nd.meta, cb)
+	})
 }
 
 // ReadPage fetches page idx.

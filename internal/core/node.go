@@ -9,7 +9,6 @@ import (
 	"repro/internal/hostif"
 	"repro/internal/hostmodel"
 	"repro/internal/nand"
-	"repro/internal/rfs"
 	"repro/internal/sim"
 )
 
@@ -155,14 +154,6 @@ func (n *Node) Server(c int) *flashserver.Server { return n.servers[c] }
 // in-store processors that want private FIFO channels.
 func (n *Node) NewIface(c int, name string) *flashserver.Iface {
 	return n.servers[c].NewIface(name)
-}
-
-// NewFS mounts a fresh RFS file system on card c. The file system owns
-// flash management for that card (paper §4); callers must not mix FS
-// and raw writes on the same card.
-func (n *Node) NewFS(c int, cfg rfs.Config) (*rfs.FS, error) {
-	return rfs.New(n.servers[c].NewIface(fmt.Sprintf("n%d/card%d/fs", n.id, c)),
-		n.cluster.Params.Geometry, cfg)
 }
 
 // NetNode exposes the node's fabric personality so applications can

@@ -35,7 +35,7 @@ func Fig21() ([]Fig21Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs, err := c.Node(0).NewFS(0, rfs.DefaultConfig())
+	fs, err := rfs.New(c.Node(0).NewIface(0, "fs"), c.Params.Geometry, rfs.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}

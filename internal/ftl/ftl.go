@@ -183,6 +183,9 @@ func (f *FTL) SetHooks(h Hooks) { f.hooks = h }
 // LogicalPages returns the size of the logical space.
 func (f *FTL) LogicalPages() int { return f.lpns }
 
+// PageSize returns the device's page size.
+func (f *FTL) PageSize() int { return f.geo.PageSize }
+
 // WriteAmplification returns flash programs / host writes (1.0 = none).
 func (f *FTL) WriteAmplification() float64 {
 	if f.HostWrites == 0 {
@@ -419,14 +422,23 @@ func (f *FTL) program(ppn int, data []byte, tag IOTag, cb func(finalPPN int, err
 	f.blocks[blk].pending++
 	f.io.WritePage(f.addrOf(ppn), data, tag, func(err error) {
 		f.blocks[blk].pending--
-		// A waiting collection may have picked this block as its victim.
-		f.maybeBeginGC()
 		if err == nil {
+			// Run cb (which installs the page's mapping and validity)
+			// BEFORE waking a collection that may have picked this block
+			// as its victim: the relocation scan keys on pageState, and
+			// starting it in the window between the program's completion
+			// and its metadata update would treat this page as dead —
+			// the victim erase would then destroy it while the mapping
+			// (installed moments later) points at freed flash.
 			cb(ppn, nil)
+			f.maybeBeginGC()
 			return
 		}
 		if errors.Is(err, nand.ErrBadBlock) {
 			f.retireBlock(blk)
+			// A collection waiting on this block's pending count can
+			// proceed now (the page never became valid).
+			f.maybeBeginGC()
 			// GC relocation retries must not route through allocPage:
 			// its queue-behind-GC branches would park the retry in
 			// pendingOps behind the very collection waiting on this
@@ -445,6 +457,7 @@ func (f *FTL) program(ppn int, data []byte, tag IOTag, cb func(finalPPN int, err
 			return
 		}
 		cb(-1, err)
+		f.maybeBeginGC()
 	})
 }
 

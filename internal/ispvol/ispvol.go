@@ -29,6 +29,13 @@
 //     junctions for string search) and DMAs the final answer into
 //     host memory.
 //
+// Queries run over two stores: logical ranges of the volume
+// (Search/TableScan) and, completing the paper's Figure 8 pipeline,
+// files of the cluster-wide RFS (SearchFile/TableScanFile) — the file
+// system's physical-address query feeds the same per-node engines, so
+// the whole appliance scans a file at flash bandwidth with the host
+// only resolving addresses and merging results.
+//
 // The package also implements the two comparison arms the experiments
 // need: Bypass admission (the pre-fix bug path — raw device
 // interfaces, invisible to the scheduler) and host-mediated queries
@@ -36,6 +43,7 @@
 package ispvol
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -151,8 +159,15 @@ type queryState interface {
 	part(msg any)
 }
 
+// ErrNoVolume reports a logical-range query on a System built without
+// a volume.
+var ErrNoVolume = errors.New("ispvol: no volume attached; use the file-based queries")
+
 // New attaches the subsystem to a cluster, scheduler and volume (all
-// three must belong together). It binds MergeEP on every node.
+// three must belong together). It binds MergeEP on every node. v may
+// be nil for deployments that run queries over files (an rfs cluster
+// file system instead of the logical volume); the volume-ranged entry
+// points then fail with ErrNoVolume.
 func New(c *core.Cluster, s *sched.Scheduler, v *volume.Volume, cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
 	if cfg.HostClass >= sched.Accel {
@@ -222,23 +237,33 @@ func (sys *System) deliver(src, dst int, size int, msg any) {
 
 // pageRef is one page of a query partition.
 type pageRef struct {
-	lpn  int // volume LPN
-	qidx int // page index within the query range (lpn - lo)
+	qidx int // page index within the query range
 	addr core.PageAddr
 }
 
 // partition resolves [lo, hi) through the volume's physical map
 // (Figure 8 step 1) and groups the pages by owning node.
 func (sys *System) partition(lo, hi int) ([][]pageRef, error) {
+	if sys.v == nil {
+		return nil, ErrNoVolume
+	}
 	addrs, err := sys.v.PhysMap(lo, hi)
 	if err != nil {
 		return nil, err
 	}
+	return sys.partitionAddrs(addrs), nil
+}
+
+// partitionAddrs groups a resolved physical address list — a volume
+// PhysMap range or a file's PhysicalAddrs — by owning node: the
+// origin-side step that turns one query into per-node engine
+// partitions.
+func (sys *System) partitionAddrs(addrs []core.PageAddr) [][]pageRef {
 	parts := make([][]pageRef, sys.c.Nodes())
 	for i, a := range addrs {
-		parts[a.Node] = append(parts[a.Node], pageRef{lpn: lo + i, qidx: i, addr: a})
+		parts[a.Node] = append(parts[a.Node], pageRef{qidx: i, addr: a})
 	}
-	return parts, nil
+	return parts
 }
 
 // chipInterleave reorders a partition so consecutive reads target

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/accel/search"
+	"repro/internal/rfs"
 	"repro/internal/sim"
 )
 
@@ -34,6 +35,7 @@ type SearchResult struct {
 type searchStartMsg struct {
 	query  uint64
 	origin int
+	ps     int // page size of the scanned store (volume or file system)
 	needle []byte
 	refs   []pageRef
 }
@@ -81,10 +83,6 @@ func (sys *System) Search(origin, lo, hi int, needle []byte, done func(*SearchRe
 		done(nil, err)
 		return
 	}
-	if origin < 0 || origin >= sys.c.Nodes() {
-		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
-		return
-	}
 	// Figure 8 step 1: host software resolves the physical address
 	// list. This (plus the fan-out RPC below) is the only host work on
 	// the whole query.
@@ -93,13 +91,47 @@ func (sys *System) Search(origin, lo, hi int, needle []byte, done func(*SearchRe
 		done(nil, err)
 		return
 	}
-	pages := hi - lo
+	sys.launchSearch(origin, hi-lo, sys.v.PageSize(), parts, needle, pat, done)
+}
+
+// SearchFile runs the distributed ISP-F string search over a file of
+// a cluster RFS — the paper's Figure 8 end-to-end at appliance scale:
+// the origin queries the file system for the cluster-wide physical
+// location of every page (step 1), partitions the list by owning
+// node, fans one engine per node out over the fabric (step 2), and
+// the engines stream their partitions directly off the flash through
+// the scheduler's Accel admission (steps 3-4), returning only match
+// offsets and page-edge residues for the origin's junction stitch.
+// The file must be read-stable for the duration of the query (the
+// physical addresses are snapshots; see rfs.File.PhysicalAddrs).
+func (sys *System) SearchFile(origin int, f *rfs.File, needle []byte, done func(*SearchResult, error)) {
+	pat, err := search.Compile(needle)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	addrs, err := f.PhysicalAddrs()
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	sys.launchSearch(origin, len(addrs), f.PageSize(), sys.partitionAddrs(addrs), needle, pat, done)
+}
+
+// launchSearch registers the origin-side merge state and fans the
+// partitions out to the per-node engines.
+func (sys *System) launchSearch(origin, pages, ps int, parts [][]pageRef,
+	needle []byte, pat *search.Pattern, done func(*SearchResult, error)) {
+	if origin < 0 || origin >= sys.c.Nodes() {
+		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
+		return
+	}
 	q := &searchQuery{
 		sys:    sys,
 		origin: origin,
 		pat:    pat,
 		pages:  pages,
-		ps:     sys.v.PageSize(),
+		ps:     ps,
 		heads:  make([][]byte, pages),
 		tails:  make([][]byte, pages),
 		start:  sys.c.Eng.Now(),
@@ -126,7 +158,7 @@ func (sys *System) Search(origin, lo, hi int, needle []byte, done func(*SearchRe
 				if len(refs) == 0 {
 					continue
 				}
-				msg := &searchStartMsg{query: q.id, origin: origin, needle: needle, refs: refs}
+				msg := &searchStartMsg{query: q.id, origin: origin, ps: ps, needle: needle, refs: refs}
 				sys.deliver(origin, n, 32+patBytes+16*len(refs), msg)
 			}
 		})
@@ -143,7 +175,7 @@ func (sys *System) runSearchPart(ns *nodeISP, m *searchStartMsg) {
 		panic(fmt.Sprintf("ispvol: uncompilable needle reached an engine: %v", err))
 	}
 	res := &searchPartMsg{query: m.query, node: ns.node.ID()}
-	ps := sys.v.PageSize()
+	ps := m.ps
 	sc := pat.NewScanner()
 	sys.runEngine(ns.node.ID(), m.refs, func(_ int, ref pageRef, data []byte, err error) {
 		if err != nil {
@@ -231,13 +263,8 @@ func (q *searchQuery) finish() {
 // result shape is identical to Search, so the two arms cross-validate
 // match-for-match; what differs is who moves and touches the bytes.
 func (sys *System) SearchHost(origin, lo, hi int, needle []byte, done func(*SearchResult, error)) {
-	pat, err := search.Compile(needle)
-	if err != nil {
-		done(nil, err)
-		return
-	}
-	if origin < 0 || origin >= sys.c.Nodes() {
-		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
+	if sys.v == nil {
+		done(nil, ErrNoVolume)
 		return
 	}
 	if lo < 0 || hi > sys.v.Pages() || lo > hi {
@@ -249,8 +276,40 @@ func (sys *System) SearchHost(origin, lo, hi int, needle []byte, done func(*Sear
 		done(nil, err)
 		return
 	}
-	pages := hi - lo
-	ps := sys.v.PageSize()
+	sys.searchHostScan(origin, hi-lo, sys.v.PageSize(),
+		func(qidx int, cb func([]byte, error)) { st.Read(lo+qidx, cb) },
+		needle, done)
+}
+
+// SearchFileHost is SearchFile's host-mediated twin over a cluster
+// RFS file: the origin host reads every page of the file through the
+// file system at Config.HostClass (scheduler admission, batched
+// doorbells, PCIe DMA, read buffers) and scans it in software on
+// Config.HostThreads worker threads at grep cost. Identical result
+// shape to SearchFile, so the two arms cross-validate; what differs
+// is who moves and touches the bytes.
+func (sys *System) SearchFileHost(origin int, f *rfs.File, needle []byte, done func(*SearchResult, error)) {
+	h := f.At(sys.cfg.HostClass)
+	sys.searchHostScan(origin, f.Pages(), f.PageSize(),
+		func(qidx int, cb func([]byte, error)) { h.ReadPage(qidx, cb) },
+		needle, done)
+}
+
+// searchHostScan is the host-mediated scan core shared by the volume
+// and file entry points: read every page of the range through the
+// host path, scan on worker threads, merge through the same junction
+// logic as the distributed arm.
+func (sys *System) searchHostScan(origin, pages, ps int, read func(qidx int, cb func([]byte, error)),
+	needle []byte, done func(*SearchResult, error)) {
+	pat, err := search.Compile(needle)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	if origin < 0 || origin >= sys.c.Nodes() {
+		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
+		return
+	}
 	node := sys.c.Node(origin)
 	q := &searchQuery{sys: sys, origin: origin, pat: pat, pages: pages, ps: ps,
 		heads: make([][]byte, pages), tails: make([][]byte, pages),
@@ -289,7 +348,7 @@ func (sys *System) SearchHost(origin, lo, hi int, needle []byte, done func(*Sear
 			next++
 			inflight++
 			w := workers[qidx%threads]
-			st.Read(lo+qidx, func(data []byte, err error) {
+			read(qidx, func(data []byte, err error) {
 				if err != nil {
 					q.failed++
 					inflight--
@@ -348,6 +407,36 @@ func (sys *System) SearchHostSync(origin, lo, hi int, needle []byte) (*SearchRes
 	sys.c.Run()
 	if !fired {
 		return nil, fmt.Errorf("ispvol: host-mediated search never completed")
+	}
+	return res, rerr
+}
+
+// SearchFileSync runs SearchFile and drains the engine.
+func (sys *System) SearchFileSync(origin int, f *rfs.File, needle []byte) (*SearchResult, error) {
+	var res *SearchResult
+	var rerr error
+	fired := false
+	sys.SearchFile(origin, f, needle, func(r *SearchResult, e error) {
+		res, rerr, fired = r, e, true
+	})
+	sys.c.Run()
+	if !fired {
+		return nil, fmt.Errorf("ispvol: file search never completed")
+	}
+	return res, rerr
+}
+
+// SearchFileHostSync runs SearchFileHost and drains the engine.
+func (sys *System) SearchFileHostSync(origin int, f *rfs.File, needle []byte) (*SearchResult, error) {
+	var res *SearchResult
+	var rerr error
+	fired := false
+	sys.SearchFileHost(origin, f, needle, func(r *SearchResult, e error) {
+		res, rerr, fired = r, e, true
+	})
+	sys.c.Run()
+	if !fired {
+		return nil, fmt.Errorf("ispvol: host-mediated file search never completed")
 	}
 	return res, rerr
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/accel/tablescan"
 	"repro/internal/hostmodel"
+	"repro/internal/rfs"
 	"repro/internal/sim"
 
 	"repro/internal/accel/search"
@@ -71,19 +72,41 @@ type scanQuery struct {
 // the flash, only matching records shipped to the origin and DMA'd to
 // its host. Asynchronous like Search.
 func (sys *System) TableScan(origin, lo, hi int, pred tablescan.Predicate, done func(*ScanResult, error)) {
-	if origin < 0 || origin >= sys.c.Nodes() {
-		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
-		return
-	}
 	parts, err := sys.partition(lo, hi)
 	if err != nil {
 		done(nil, err)
 		return
 	}
+	sys.launchTableScan(origin, hi-lo, parts, pred, done)
+}
+
+// TableScanFile runs the distributed table scan over a file of a
+// cluster RFS: the origin resolves the file's cluster-wide physical
+// pages (Figure 8 step 1), and one filter engine per node evaluates
+// the predicate next to the flash through the scheduler's Accel
+// admission. Like SearchFile, the file must stay read-stable for the
+// query.
+func (sys *System) TableScanFile(origin int, f *rfs.File, pred tablescan.Predicate, done func(*ScanResult, error)) {
+	addrs, err := f.PhysicalAddrs()
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	sys.launchTableScan(origin, len(addrs), sys.partitionAddrs(addrs), pred, done)
+}
+
+// launchTableScan registers the origin-side merge state and fans the
+// partitions out to the per-node filter engines.
+func (sys *System) launchTableScan(origin, pages int, parts [][]pageRef,
+	pred tablescan.Predicate, done func(*ScanResult, error)) {
+	if origin < 0 || origin >= sys.c.Nodes() {
+		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
+		return
+	}
 	q := &scanQuery{
 		sys:    sys,
 		origin: origin,
-		pages:  hi - lo,
+		pages:  pages,
 		start:  sys.c.Eng.Now(),
 		done:   done,
 	}
@@ -168,8 +191,8 @@ func (q *scanQuery) finish() {
 // range crosses PCIe into the origin host, where worker threads
 // evaluate the predicate in software.
 func (sys *System) TableScanHost(origin, lo, hi int, pred tablescan.Predicate, done func(*ScanResult, error)) {
-	if origin < 0 || origin >= sys.c.Nodes() {
-		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
+	if sys.v == nil {
+		done(nil, ErrNoVolume)
 		return
 	}
 	if lo < 0 || hi > sys.v.Pages() || lo > hi {
@@ -181,8 +204,30 @@ func (sys *System) TableScanHost(origin, lo, hi int, pred tablescan.Predicate, d
 		done(nil, err)
 		return
 	}
-	pages := hi - lo
-	ps := sys.v.PageSize()
+	sys.tableScanHost(origin, hi-lo, sys.v.PageSize(),
+		func(qidx int, cb func([]byte, error)) { st.Read(lo+qidx, cb) },
+		pred, done)
+}
+
+// TableScanFileHost is TableScanFile's host-mediated twin: every page
+// of the file crosses PCIe into the origin host (read through the
+// file system at Config.HostClass), where worker threads evaluate the
+// predicate in software.
+func (sys *System) TableScanFileHost(origin int, f *rfs.File, pred tablescan.Predicate, done func(*ScanResult, error)) {
+	h := f.At(sys.cfg.HostClass)
+	sys.tableScanHost(origin, f.Pages(), f.PageSize(),
+		func(qidx int, cb func([]byte, error)) { h.ReadPage(qidx, cb) },
+		pred, done)
+}
+
+// tableScanHost is the host-mediated filter core shared by the volume
+// and file entry points.
+func (sys *System) tableScanHost(origin, pages, ps int, read func(qidx int, cb func([]byte, error)),
+	pred tablescan.Predicate, done func(*ScanResult, error)) {
+	if origin < 0 || origin >= sys.c.Nodes() {
+		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))
+		return
+	}
 	node := sys.c.Node(origin)
 	start := sys.c.Eng.Now()
 	res := &ScanResult{Pages: pages}
@@ -218,7 +263,7 @@ func (sys *System) TableScanHost(origin, lo, hi int, pred tablescan.Predicate, d
 			next++
 			inflight++
 			w := workers[qidx%threads]
-			st.Read(lo+qidx, func(data []byte, err error) {
+			read(qidx, func(data []byte, err error) {
 				slotDone := func() {
 					inflight--
 					if inflight == 0 && next >= pages {
@@ -274,6 +319,36 @@ func (sys *System) TableScanHostSync(origin, lo, hi int, pred tablescan.Predicat
 	sys.c.Run()
 	if !fired {
 		return nil, fmt.Errorf("ispvol: host-mediated table scan never completed")
+	}
+	return res, rerr
+}
+
+// TableScanFileSync runs TableScanFile and drains the engine.
+func (sys *System) TableScanFileSync(origin int, f *rfs.File, pred tablescan.Predicate) (*ScanResult, error) {
+	var res *ScanResult
+	var rerr error
+	fired := false
+	sys.TableScanFile(origin, f, pred, func(r *ScanResult, e error) {
+		res, rerr, fired = r, e, true
+	})
+	sys.c.Run()
+	if !fired {
+		return nil, fmt.Errorf("ispvol: file table scan never completed")
+	}
+	return res, rerr
+}
+
+// TableScanFileHostSync runs TableScanFileHost and drains the engine.
+func (sys *System) TableScanFileHostSync(origin int, f *rfs.File, pred tablescan.Predicate) (*ScanResult, error) {
+	var res *ScanResult
+	var rerr error
+	fired := false
+	sys.TableScanFileHost(origin, f, pred, func(r *ScanResult, e error) {
+		res, rerr, fired = r, e, true
+	})
+	sys.c.Run()
+	if !fired {
+		return nil, fmt.Errorf("ispvol: host-mediated file table scan never completed")
 	}
 	return res, rerr
 }

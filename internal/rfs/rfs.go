@@ -9,6 +9,34 @@
 // (Figure 8, step 1): applications ask for the physical locations of a
 // file's pages and stream them to in-store processors, which then read
 // flash directly, bypassing the host entirely.
+//
+// The FS core is generic over a Backend: the same inode, frontier,
+// backref and cleaning machinery runs per-card over a flashserver
+// interface (CardBackend — the original deployment) or cluster-wide,
+// striping the log over every chip of every card of every node with
+// all I/O admitted through the request scheduler at the caller's QoS
+// class and segment cleaning on the Background class (ClusterBackend
+// — the paper's Figure 8 at appliance scale).
+//
+// Cleaning concurrency rules (all in virtual time, single-threaded):
+//   - Reads resolve their mapping at issue time and never wait for the
+//     cleaner: relocation only copies, so a racing read still finds
+//     its data at the old physical page. The one destructive step —
+//     the victim erase — waits until in-flight reads against the
+//     victim drain, and after relocation no mapping points into the
+//     victim, so no new read can resolve there.
+//   - Writes proceed during an active clean while the free pool stays
+//     above a reserve (their lane frontiers are disjoint from the
+//     sealed victim); below it they queue in pendingOps and drain when
+//     the clean finishes, so they can never starve the relocation
+//     destination. Remove is metadata-only and lands immediately, so
+//     every relocation re-validates its backref before installing the
+//     moved copy — a page invalidated mid-move is dropped, never
+//     resurrected.
+//   - A clean pass that cannot allocate relocation space fails the
+//     pass and marks the FS stalled: further allocations fail
+//     deterministically with ErrNoSpace (instead of re-triggering the
+//     same doomed pass) until an invalidation changes the economics.
 package rfs
 
 import (
@@ -16,8 +44,10 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/flashserver"
 	"repro/internal/nand"
+	"repro/internal/sched"
 )
 
 // File system errors.
@@ -27,18 +57,42 @@ var (
 	ErrDataSize  = errors.New("rfs: data must be exactly one page")
 	ErrNoSpace   = errors.New("rfs: file system full")
 	ErrBadOffset = errors.New("rfs: page offset out of range")
+	ErrSpansCard = errors.New("rfs: file spans multiple cards; ATU export needs a per-card file")
 )
 
 // Config tunes the file system.
 type Config struct {
 	// CleanLowWater starts segment cleaning when the free-segment pool
-	// drops this low.
+	// drops this low. Cluster deployments want it scaled with the chip
+	// count (a handful of free segments across hundreds of chips means
+	// the log is effectively full).
 	CleanLowWater int
+	// StripeExtent is how many consecutive pages a lane writes to one
+	// chip before rotating to the next (default 1: pure page-granular
+	// round-robin). Page-granular striping maximizes write parallelism
+	// but scatters each segment's pages across ~chips*PagesPerSeg
+	// writes of arrival time, so temporally-adjacent data (which dies
+	// together) never shares a segment and greedy cleaning finds only
+	// uniformly-decayed victims. A small extent restores the age
+	// clustering log-structured cleaning depends on, at a modest cost
+	// in how many chips a short write burst spreads over.
+	StripeExtent int
 }
 
 // DefaultConfig returns sensible defaults.
 func DefaultConfig() Config {
 	return Config{CleanLowWater: 2}
+}
+
+// Hooks observe the cleaner's lifecycle, mirroring the FTL's GC hooks
+// so a scheduler-backed deployment can feed cleaning urgency into the
+// Background token budget.
+type Hooks struct {
+	CleanStart func()
+	CleanEnd   func()
+	// Urgency reports how badly cleaning needs to run, 0..1, whenever
+	// the free pool changes.
+	Urgency func(u float64)
 }
 
 type fileRef struct {
@@ -60,26 +114,49 @@ type segInfo struct {
 	isActive bool
 }
 
-// FS is one node's flash file system over one card.
+// cleanState tracks one in-progress segment clean.
+type cleanState struct {
+	victim      int
+	next        int  // next page offset of the victim to scan
+	busy        bool // an async relocation step is in flight
+	pumping     bool // re-entrancy guard for the iterative pump
+	relocated   bool // all pages scanned; erase is next
+	eraseIssued bool
+	aborted     bool // no room to relocate: the pass failed
+}
+
+// FS is a flash file system over a Backend.
 type FS struct {
-	iface *flashserver.Iface
-	geo   nand.Geometry
+	b     Backend
+	lay   Layout
 	cfg   Config
+	hooks Hooks
+
+	lanes     int // app lanes + 1 cleaning lane
+	cleanLane int
 
 	inodes   []*inode
 	byName   map[string]int
 	backrefs map[int]fileRef // ppn -> owner
 
 	segs []segInfo
-	// Allocation stripes across chips (one log frontier per chip) so
-	// file data spreads over every bus and chip — "exposing all degrees
-	// of parallelism of the device" (paper §3.1.1).
+	// Allocation stripes across chips (one log frontier per chip and
+	// lane) so file data spreads over every bus and chip — "exposing
+	// all degrees of parallelism of the device" (paper §3.1.1) — and,
+	// on a cluster backend, over every card and node.
 	freePool [][]int // per chip
-	active   []int   // per chip, -1 = none
-	cursor   int     // round-robin chip cursor
+	freeSegs int     // running total across freePool (every write checks it)
+	active   [][]int // [lane][chip], -1 = none
+	cursor   []int   // per-lane round-robin chip cursor
 
 	cleaning   bool
+	stalled    bool // last clean made no progress; only invalidation can help
+	cleanst    *cleanState
 	pendingOps []func()
+
+	// readsInflight counts app reads in flight per segment; the victim
+	// erase waits for its count to drain.
+	readsInflight map[int]int
 
 	// stats
 	PagesWritten int64
@@ -88,69 +165,116 @@ type FS struct {
 	SegsCleaned  int64
 }
 
-// New builds a file system on iface with the card geometry.
+// New builds a file system on a single card's flashserver interface
+// with the card geometry — the per-card deployment.
 func New(iface *flashserver.Iface, geo nand.Geometry, cfg Config) (*FS, error) {
-	if err := geo.Validate(); err != nil {
+	b, err := NewCardBackend(iface, geo)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithBackend(b, cfg)
+}
+
+// NewWithBackend builds a file system over an arbitrary Backend.
+func NewWithBackend(b Backend, cfg Config) (*FS, error) {
+	lay := b.Layout()
+	if err := lay.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.CleanLowWater < 1 {
 		cfg.CleanLowWater = 1
 	}
-	chips := geo.Buses * geo.ChipsPerBus
+	lanes := lay.Lanes + 1 // one extra frontier lane for cleaning
 	fs := &FS{
-		iface:    iface,
-		geo:      geo,
-		cfg:      cfg,
-		byName:   make(map[string]int),
-		backrefs: make(map[int]fileRef),
-		segs:     make([]segInfo, chips*geo.BlocksPerChip),
-		freePool: make([][]int, chips),
-		active:   make([]int, chips),
+		b:             b,
+		lay:           lay,
+		cfg:           cfg,
+		lanes:         lanes,
+		cleanLane:     lay.Lanes,
+		byName:        make(map[string]int),
+		backrefs:      make(map[int]fileRef),
+		segs:          make([]segInfo, lay.TotalSegs()),
+		freePool:      make([][]int, lay.Chips),
+		active:        make([][]int, lanes),
+		cursor:        make([]int, lanes),
+		readsInflight: make(map[int]int),
 	}
-	for ch := 0; ch < chips; ch++ {
-		fs.active[ch] = -1
-		for b := 0; b < geo.BlocksPerChip; b++ {
-			fs.freePool[ch] = append(fs.freePool[ch], ch*geo.BlocksPerChip+b)
+	for lane := 0; lane < lanes; lane++ {
+		fs.active[lane] = make([]int, lay.Chips)
+		for ch := range fs.active[lane] {
+			fs.active[lane][ch] = -1
 		}
 	}
+	for ch := 0; ch < lay.Chips; ch++ {
+		for s := 0; s < lay.SegsPerChip; s++ {
+			fs.freePool[ch] = append(fs.freePool[ch], ch*lay.SegsPerChip+s)
+		}
+	}
+	fs.freeSegs = lay.TotalSegs()
 	return fs, nil
 }
 
-// chipOf returns the chip index owning a segment.
-func (fs *FS) chipOf(seg int) int { return seg / fs.geo.BlocksPerChip }
+// SetHooks installs cleaning lifecycle hooks (see Hooks).
+func (fs *FS) SetHooks(h Hooks) { fs.hooks = h }
 
-// totalFree counts free segments across all chips.
-func (fs *FS) totalFree() int {
-	n := 0
-	for _, pool := range fs.freePool {
-		n += len(pool)
-	}
-	return n
-}
+// Backend returns the storage the file system runs over.
+func (fs *FS) Backend() Backend { return fs.b }
+
+// chipOf returns the chip index owning a segment.
+func (fs *FS) chipOf(seg int) int { return seg / fs.lay.SegsPerChip }
+
+// totalFree returns the free-segment count across all chips (a
+// running counter: the hot write path checks it up to three times per
+// page, so it must not scan the per-chip pools).
+func (fs *FS) totalFree() int { return fs.freeSegs }
 
 // PageSize returns the file system's IO granularity.
-func (fs *FS) PageSize() int { return fs.geo.PageSize }
+func (fs *FS) PageSize() int { return fs.lay.PageSize }
 
-// addrOf converts a linear ppn to a card address.
-func (fs *FS) addrOf(ppn int) nand.Addr {
-	p := ppn % fs.geo.PagesPerBlock
-	b := ppn / fs.geo.PagesPerBlock
-	blk := b % fs.geo.BlocksPerChip
-	b /= fs.geo.BlocksPerChip
-	chip := b % fs.geo.ChipsPerBus
-	bus := b / fs.geo.ChipsPerBus
-	return nand.Addr{Bus: bus, Chip: chip, Block: blk, Page: p}
+func (fs *FS) segOf(ppn int) int { return ppn / fs.lay.PagesPerSeg }
+
+// laneOf maps an op's QoS class onto a frontier lane, so writes
+// admitted through independently scheduled channels never share a
+// NAND block.
+func (fs *FS) laneOf(class sched.Class) int {
+	return int(class) % fs.lay.Lanes
 }
 
-func (fs *FS) segOf(ppn int) int { return ppn / fs.geo.PagesPerBlock }
+// Urgency reports how badly cleaning needs to run, from 0 (free pool
+// at or above the low-water mark) to 1 (pool dry, writes about to
+// stall) — the deficit below the trigger point, mirroring
+// ftl.Urgency, so the scheduler's Background budget can scale.
+func (fs *FS) Urgency() float64 {
+	low := fs.cfg.CleanLowWater
+	if low < 1 {
+		low = 1
+	}
+	u := 1 - float64(fs.totalFree())/float64(low)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
 
-// File is an open file.
+func (fs *FS) notifyUrgency() {
+	if fs.hooks.Urgency != nil {
+		fs.hooks.Urgency(fs.Urgency())
+	}
+}
+
+// File is an open file handle. It carries the QoS class its I/O is
+// admitted at on scheduler-backed backends (At derives handles at
+// other classes); per-card backends ignore the class.
 type File struct {
-	fs  *FS
-	ino int
+	fs    *FS
+	ino   int
+	class sched.Class
 }
 
-// Create makes a new empty file.
+// Create makes a new empty file (I/O at the Batch class; see At).
 func (fs *FS) Create(name string) (*File, error) {
 	if _, dup := fs.byName[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
@@ -162,19 +286,22 @@ func (fs *FS) Create(name string) (*File, error) {
 		live:   true,
 	})
 	fs.byName[name] = ino
-	return &File{fs: fs, ino: ino}, nil
+	return &File{fs: fs, ino: ino, class: sched.Batch}, nil
 }
 
-// Open returns an existing file.
+// Open returns an existing file (I/O at the Batch class; see At).
 func (fs *FS) Open(name string) (*File, error) {
 	ino, ok := fs.byName[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return &File{fs: fs, ino: ino}, nil
+	return &File{fs: fs, ino: ino, class: sched.Batch}, nil
 }
 
-// Remove deletes a file, invalidating its pages for the cleaner.
+// Remove deletes a file, invalidating its pages for the cleaner. It
+// is a host-side metadata update and lands immediately, even while a
+// clean is relocating the file's pages (the cleaner re-validates
+// every backref before installing a moved copy).
 func (fs *FS) Remove(name string) error {
 	ino, ok := fs.byName[name]
 	if !ok {
@@ -205,6 +332,34 @@ func (fs *FS) List() []string {
 // FreeSegments returns the free pool size across all chips.
 func (fs *FS) FreeSegments() int { return fs.totalFree() }
 
+// LiveMappings returns the number of page-mapping entries the file
+// system currently holds — only live data is mapped, which is the
+// memory-footprint half of the RFS argument (paper §4): an FTL maps
+// the whole logical space whether or not data is live.
+func (fs *FS) LiveMappings() int { return len(fs.backrefs) }
+
+// WriteAmplification returns total flash programs (host appends plus
+// cleaning relocations) per host page written.
+func (fs *FS) WriteAmplification() float64 {
+	if fs.PagesWritten == 0 {
+		return 0
+	}
+	return float64(fs.PagesWritten+fs.CleanMoves) / float64(fs.PagesWritten)
+}
+
+// At returns a handle on the same file issuing I/O at the given QoS
+// class. Classes at or above Accel are not tenant classes and clamp
+// to Batch. Per-card backends ignore the class entirely.
+func (f *File) At(class sched.Class) *File {
+	if class >= sched.Accel {
+		class = sched.Batch
+	}
+	return &File{fs: f.fs, ino: f.ino, class: class}
+}
+
+// Class returns the QoS class this handle issues I/O at.
+func (f *File) Class() sched.Class { return f.class }
+
 // Name returns the file's name.
 func (f *File) Name() string { return f.fs.inodes[f.ino].name }
 
@@ -214,29 +369,49 @@ func (f *File) Handle() flashserver.FileHandle { return f.fs.inodes[f.ino].handl
 // Pages returns the file's length in pages.
 func (f *File) Pages() int { return len(f.fs.inodes[f.ino].pages) }
 
-// PhysicalAddrs returns the physical flash location of every page —
-// the query applications use to drive in-store processors directly
-// (paper Figure 8, step 1).
-func (f *File) PhysicalAddrs() ([]nand.Addr, error) {
+// PageSize returns the file system's IO granularity.
+func (f *File) PageSize() int { return f.fs.lay.PageSize }
+
+// PhysicalAddrs returns the cluster-wide physical flash location of
+// every page — the query applications use to drive in-store
+// processors directly (paper Figure 8, step 1). On a cluster backend
+// the addresses span every node of the appliance; the distributed ISP
+// layer partitions them by owning node and fans engines out over the
+// fabric. Every address is a snapshot: an overwrite, Remove, or
+// cleaning relocation of the page invalidates it, so engines scan
+// read-stable data or re-query after mutation.
+func (f *File) PhysicalAddrs() ([]core.PageAddr, error) {
 	nd := f.fs.inodes[f.ino]
-	out := make([]nand.Addr, 0, len(nd.pages))
+	out := make([]core.PageAddr, 0, len(nd.pages))
 	for i, ppn := range nd.pages {
 		if ppn < 0 {
 			return nil, fmt.Errorf("rfs: file %q has a hole at page %d", nd.name, i)
 		}
-		out = append(out, f.fs.addrOf(ppn))
+		out = append(out, f.fs.b.Addr(ppn))
 	}
 	return out, nil
 }
 
 // ExportATU loads the file's physical layout into a Flash Server ATU
-// so in-store processors can address it by (handle, offset).
+// so in-store processors can address it by (handle, offset). An ATU
+// belongs to one card's flash server, so the file must live entirely
+// on one card (always true on a CardBackend); cluster files that
+// stripe across cards use PhysicalAddrs with the distributed ISP
+// layer instead.
 func (f *File) ExportATU(atu *flashserver.ATU) error {
 	addrs, err := f.PhysicalAddrs()
 	if err != nil {
 		return err
 	}
-	atu.Load(f.Handle(), addrs)
+	nas := make([]nand.Addr, len(addrs))
+	for i, a := range addrs {
+		if a.Node != addrs[0].Node || a.Card != addrs[0].Card {
+			return fmt.Errorf("%w: %q touches n%d.card%d and n%d.card%d",
+				ErrSpansCard, f.Name(), addrs[0].Node, addrs[0].Card, a.Node, a.Card)
+		}
+		nas[i] = a.Addr
+	}
+	atu.Load(f.Handle(), nas)
 	return nil
 }
 
@@ -264,29 +439,57 @@ func (f *File) WritePage(idx int, data []byte, cb func(err error)) {
 }
 
 func (f *File) writePage(idx int, data []byte, cb func(err error)) {
-	if len(data) != f.fs.geo.PageSize {
-		cb(fmt.Errorf("%w: got %d want %d", ErrDataSize, len(data), f.fs.geo.PageSize))
+	if len(data) != f.fs.lay.PageSize {
+		cb(fmt.Errorf("%w: got %d want %d", ErrDataSize, len(data), f.fs.lay.PageSize))
 		return
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	f.fs.enqueue(func() { f.fs.logWrite(f.ino, idx, buf, cb) })
+	ino, class := f.ino, f.class
+	f.fs.enqueue(func() { f.fs.logWrite(ino, idx, class, buf, cb) })
 }
 
-// ReadPage fetches page idx.
+// ReadPage fetches page idx. Reads resolve the mapping at issue time
+// and never wait for the cleaner: relocation only copies, and the
+// victim erase waits for in-flight reads against the victim to drain,
+// so a read can never land on a page erased under it.
 func (f *File) ReadPage(idx int, cb func(data []byte, err error)) {
-	nd := f.fs.inodes[f.ino]
+	fs := f.fs
+	nd := fs.inodes[f.ino]
 	if idx < 0 || idx >= len(nd.pages) || nd.pages[idx] < 0 {
 		cb(nil, fmt.Errorf("%w: %d of %d", ErrBadOffset, idx, len(nd.pages)))
 		return
 	}
-	f.fs.PagesRead++
-	f.fs.iface.ReadPhysical(f.fs.addrOf(nd.pages[idx]), cb)
+	ppn := nd.pages[idx]
+	seg := fs.segOf(ppn)
+	fs.PagesRead++
+	fs.readsInflight[seg]++
+	fs.b.ReadPage(ppn, f.class, false, func(data []byte, err error) {
+		if fs.readsInflight[seg]--; fs.readsInflight[seg] == 0 {
+			delete(fs.readsInflight, seg)
+		}
+		fs.maybeErase()
+		cb(data, err)
+	})
 }
 
-// enqueue defers ops while the cleaner runs.
+// cleanReserveSegs is the free-segment floor below which writes stall
+// behind an active clean: the last segments are reserved as the
+// relocation destination, because a write racing the cleaner for them
+// aborts the pass and wedges the log (the same reserve discipline as
+// the FTL's gcReserveBlocks).
+const cleanReserveSegs = 1
+
+// enqueue runs a write now, or behind the in-progress clean when the
+// free-segment reserve demands it. Writes that proceed during a clean
+// go to their own lane's frontier and cannot disturb the sealed
+// victim — and every relocation re-validates its backref before
+// installing the copy, so a concurrent overwrite of a victim page is
+// dropped, not resurrected. Blocking every write for the whole clean
+// (the old behaviour) would serialize the appliance's entire write
+// stream behind Background-class relocation.
 func (fs *FS) enqueue(op func()) {
-	if fs.cleaning {
+	if fs.cleaning && fs.totalFree() <= cleanReserveSegs {
 		fs.pendingOps = append(fs.pendingOps, op)
 		return
 	}
@@ -294,8 +497,8 @@ func (fs *FS) enqueue(op func()) {
 }
 
 // logWrite appends a page to the log and maps it to (ino, idx).
-func (fs *FS) logWrite(ino, idx int, data []byte, cb func(err error)) {
-	fs.allocAndProgram(data, func(ppn int, err error) {
+func (fs *FS) logWrite(ino, idx int, class sched.Class, data []byte, cb func(err error)) {
+	fs.allocAndProgram(class, data, func(ppn int, err error) {
 		if err != nil {
 			cb(err)
 			return
@@ -303,10 +506,8 @@ func (fs *FS) logWrite(ino, idx int, data []byte, cb func(err error)) {
 		nd := fs.inodes[ino]
 		if !nd.live {
 			// File removed while the write was in flight: the new page
-			// is immediately garbage.
-			fs.segs[fs.segOf(ppn)].valid++
-			fs.backrefs[ppn] = fileRef{ino: ino, page: idx}
-			fs.invalidate(ppn)
+			// is garbage — no mapping is registered, so the cleaner sees
+			// it as dead.
 			cb(nil)
 			return
 		}
@@ -321,18 +522,24 @@ func (fs *FS) logWrite(ino, idx int, data []byte, cb func(err error)) {
 	})
 }
 
+// invalidate marks a physical page dead. A stalled FS aborted its
+// last clean for lack of relocation room; dropping a valid page
+// shrinks some victim's relocation demand, so cleaning is worth
+// retrying — if it still cannot fit, it re-aborts and re-stalls, so
+// this cannot loop.
 func (fs *FS) invalidate(ppn int) {
 	if _, ok := fs.backrefs[ppn]; ok {
 		fs.segs[fs.segOf(ppn)].valid--
 		delete(fs.backrefs, ppn)
+		fs.stalled = false
 	}
 }
 
-// allocAndProgram finds the next log position and programs it,
-// retrying around bad blocks and starting the cleaner when space runs
-// low.
-func (fs *FS) allocAndProgram(data []byte, cb func(ppn int, err error)) {
-	ppn, err := fs.allocPage(func() { fs.allocAndProgram(data, cb) })
+// allocAndProgram finds the next log position on the class's lane and
+// programs it, retrying around bad blocks and starting the cleaner
+// when space runs low.
+func (fs *FS) allocAndProgram(class sched.Class, data []byte, cb func(ppn int, err error)) {
+	ppn, err := fs.allocPage(fs.laneOf(class), func() { fs.allocAndProgram(class, data, cb) })
 	if err != nil {
 		cb(-1, err)
 		return
@@ -340,81 +547,114 @@ func (fs *FS) allocAndProgram(data []byte, cb func(ppn int, err error)) {
 	if ppn < 0 {
 		return // cleaner started; op requeued
 	}
-	fs.iface.WritePhysical(fs.addrOf(ppn), data, func(err error) {
+	fs.b.WritePage(ppn, class, false, data, func(err error) {
 		if err == nil {
 			cb(ppn, nil)
 			return
 		}
 		if errors.Is(err, nand.ErrBadBlock) {
-			seg := fs.segOf(ppn)
-			fs.segs[seg].bad = true
-			if ch := fs.chipOf(seg); fs.active[ch] == seg {
-				fs.active[ch] = -1
-			}
-			fs.allocAndProgram(data, cb)
+			fs.markBad(fs.segOf(ppn))
+			fs.allocAndProgram(class, data, cb)
 			return
 		}
 		cb(-1, err)
 	})
 }
 
-// allocPage returns the next frontier ppn — rotating across chip
-// frontiers for parallelism — or -1 after starting the cleaner (the
-// retry closure is requeued behind it).
-func (fs *FS) allocPage(retry func()) (int, error) {
-	if fs.totalFree() <= fs.cfg.CleanLowWater && !fs.cleaning && fs.victim() >= 0 {
+// markBad retires a segment, clearing any frontier (on any lane) that
+// pointed at it so no stale active state survives.
+func (fs *FS) markBad(seg int) {
+	s := &fs.segs[seg]
+	s.bad = true
+	s.isActive = false
+	ch := fs.chipOf(seg)
+	for lane := range fs.active {
+		if fs.active[lane][ch] == seg {
+			fs.active[lane][ch] = -1
+		}
+	}
+}
+
+// allocPage returns the next frontier ppn for the lane — rotating
+// across chip frontiers for parallelism — or -1 after starting the
+// cleaner (the retry closure is requeued behind it). A stalled FS
+// (the last clean found no room to relocate) must not re-trigger the
+// same doomed pass: it keeps allocating from what remains and fails
+// with ErrNoSpace when that runs dry.
+func (fs *FS) allocPage(lane int, retry func()) (int, error) {
+	if fs.totalFree() <= fs.cfg.CleanLowWater && !fs.cleaning && !fs.stalled && fs.victim() >= 0 {
 		if retry != nil {
 			fs.pendingOps = append(fs.pendingOps, retry)
 		}
 		fs.startClean()
 		return -1, nil
 	}
-	return fs.allocRoundRobin()
+	// Writes that got past the enqueue reserve gate before the pool
+	// dropped must neither consume the reserve the clean's relocation
+	// needs nor see a transient "file system full": queue them behind
+	// the clean. ErrNoSpace is then only returned with no clean in
+	// flight — deterministically.
+	if fs.cleaning && fs.totalFree() <= cleanReserveSegs && retry != nil {
+		fs.pendingOps = append(fs.pendingOps, retry)
+		return -1, nil
+	}
+	return fs.allocRoundRobin(lane)
 }
 
-// allocRoundRobin takes the next page from the next chip that has
-// room, never triggering the cleaner.
-func (fs *FS) allocRoundRobin() (int, error) {
-	chips := len(fs.freePool)
+// allocRoundRobin takes the next page from the lane's current chip,
+// rotating chips every StripeExtent allocations (see Config); it
+// never triggers the cleaner. The cursor counts allocation slots, so
+// chip = (cursor/extent) mod chips; an exhausted chip jumps the
+// cursor to the next chip boundary.
+func (fs *FS) allocRoundRobin(lane int) (int, error) {
+	chips := fs.lay.Chips
+	ext := fs.cfg.StripeExtent
+	if ext < 1 {
+		ext = 1
+	}
 	for try := 0; try < chips; try++ {
-		ch := fs.cursor % chips
-		fs.cursor++
-		ppn, ok := fs.allocOnChip(ch)
+		ch := (fs.cursor[lane] / ext) % chips
+		ppn, ok := fs.allocOnChip(lane, ch)
 		if ok {
+			fs.cursor[lane]++
 			return ppn, nil
 		}
+		fs.cursor[lane] = (fs.cursor[lane]/ext + 1) * ext
 	}
 	return 0, ErrNoSpace
 }
 
-// allocOnChip advances one chip's frontier, opening a fresh segment
-// from the chip's pool when needed.
-func (fs *FS) allocOnChip(ch int) (int, bool) {
+// allocOnChip advances one chip's lane frontier, opening a fresh
+// segment from the chip's pool when needed.
+func (fs *FS) allocOnChip(lane, ch int) (int, bool) {
 	for {
-		if fs.active[ch] >= 0 {
-			s := &fs.segs[fs.active[ch]]
+		if fs.active[lane][ch] >= 0 {
+			seg := fs.active[lane][ch]
+			s := &fs.segs[seg]
 			if s.bad {
-				fs.active[ch] = -1
+				fs.active[lane][ch] = -1
 				continue
 			}
-			if s.written < fs.geo.PagesPerBlock {
-				ppn := fs.active[ch]*fs.geo.PagesPerBlock + s.written
+			if s.written < fs.lay.PagesPerSeg {
+				ppn := seg*fs.lay.PagesPerSeg + s.written
 				s.written++
 				return ppn, true
 			}
 			s.isActive = false
-			fs.active[ch] = -1
+			fs.active[lane][ch] = -1
 		}
 		if len(fs.freePool[ch]) == 0 {
 			return 0, false
 		}
 		seg := fs.freePool[ch][0]
 		fs.freePool[ch] = fs.freePool[ch][1:]
-		fs.active[ch] = seg
+		fs.freeSegs--
+		fs.active[lane][ch] = seg
 		s := &fs.segs[seg]
 		s.isActive = true
 		s.written = 0
 		s.valid = 0
+		fs.notifyUrgency()
 	}
 }
 
@@ -423,10 +663,10 @@ func (fs *FS) victim() int {
 	best := -1
 	for s := range fs.segs {
 		si := &fs.segs[s]
-		if si.bad || si.isActive || si.written < fs.geo.PagesPerBlock {
+		if si.bad || si.isActive || si.written < fs.lay.PagesPerSeg {
 			continue
 		}
-		if si.valid == fs.geo.PagesPerBlock {
+		if si.valid == fs.lay.PagesPerSeg {
 			continue
 		}
 		if best < 0 || si.valid < fs.segs[best].valid {
@@ -439,74 +679,146 @@ func (fs *FS) victim() int {
 func (fs *FS) startClean() {
 	v := fs.victim()
 	if v < 0 {
-		fs.finishClean()
 		return
 	}
 	fs.cleaning = true
-	fs.moveNext(v, 0)
+	fs.cleanst = &cleanState{victim: v}
+	if fs.hooks.CleanStart != nil {
+		fs.hooks.CleanStart()
+	}
+	fs.notifyUrgency()
+	fs.pumpClean()
 }
 
-func (fs *FS) moveNext(victim, page int) {
-	if page >= fs.geo.PagesPerBlock {
-		fs.eraseSeg(victim)
+// pumpClean is the cleaner's iterative driver: it scans the victim's
+// pages in a loop (no recursion, so a segment's page count never
+// costs stack), parking only while an async relocation step is in
+// flight. Completion callbacks clear busy and re-enter; the pumping
+// guard makes synchronous completions unwind into this loop instead
+// of stacking one frame per page.
+func (fs *FS) pumpClean() {
+	st := fs.cleanst
+	if st == nil || st.pumping {
 		return
 	}
-	ppn := victim*fs.geo.PagesPerBlock + page
-	ref, ok := fs.backrefs[ppn]
-	if !ok {
-		fs.moveNext(victim, page+1)
-		return
+	st.pumping = true
+	for !st.busy && !st.aborted && !st.relocated {
+		if st.next >= fs.lay.PagesPerSeg {
+			st.relocated = true
+			fs.maybeErase()
+			break
+		}
+		ppn := st.victim*fs.lay.PagesPerSeg + st.next
+		st.next++
+		ref, ok := fs.backrefs[ppn]
+		if !ok {
+			continue // dead page: nothing to move
+		}
+		st.busy = true
+		fs.moveOne(st, ppn, ref)
 	}
-	fs.iface.ReadPhysical(fs.addrOf(ppn), func(data []byte, err error) {
+	st.pumping = false
+}
+
+// moveOne relocates one valid victim page: read it, allocate a
+// destination on the cleaning lane, program the copy, and re-point
+// the mapping — re-validating the backref at every completion,
+// because a Remove can land while the copy is in flight and the moved
+// page must then be dropped, not resurrected over dead state.
+func (fs *FS) moveOne(st *cleanState, ppn int, ref fileRef) {
+	fs.b.ReadPage(ppn, sched.Background, true, func(data []byte, err error) {
 		if err != nil {
-			fs.invalidate(ppn)
-			if nd := fs.inodes[ref.ino]; nd.live && ref.page < len(nd.pages) {
-				nd.pages[ref.page] = -1
+			// Unreadable during cleaning: drop the mapping — but only if
+			// it still points here (the file may have been removed while
+			// the read was in flight).
+			if cur, ok := fs.backrefs[ppn]; ok && cur == ref {
+				fs.invalidate(ppn)
+				if nd := fs.inodes[ref.ino]; nd.live && ref.page < len(nd.pages) && nd.pages[ref.page] == ppn {
+					nd.pages[ref.page] = -1
+				}
 			}
-			fs.moveNext(victim, page+1)
+			st.busy = false
+			fs.pumpClean()
+			return
+		}
+		if cur, ok := fs.backrefs[ppn]; !ok || cur != ref {
+			// Invalidated while the read was in flight: dead now.
+			st.busy = false
+			fs.pumpClean()
 			return
 		}
 		dst, aerr := fs.cleanAlloc()
 		if aerr != nil {
+			// No room to relocate: the pass failed and retrying it
+			// cannot help (only an invalidation changes the economics).
+			// Mark the FS stalled so queued writes fail with ErrNoSpace
+			// instead of re-triggering this pass forever.
+			st.aborted = true
+			st.busy = false
+			fs.stalled = true
 			fs.finishClean()
 			return
 		}
-		fs.iface.WritePhysical(fs.addrOf(dst), data, func(perr error) {
+		fs.b.WritePage(dst, sched.Background, true, data, func(perr error) {
 			if perr != nil {
+				st.aborted = true
+				st.busy = false
+				if errors.Is(perr, nand.ErrBadBlock) {
+					fs.markBad(fs.segOf(dst))
+				}
 				fs.finishClean()
 				return
 			}
-			fs.CleanMoves++
-			fs.invalidate(ppn)
-			nd := fs.inodes[ref.ino]
-			if nd.live && ref.page < len(nd.pages) {
+			if cur, ok := fs.backrefs[ppn]; ok && cur == ref {
+				fs.CleanMoves++
+				fs.invalidate(ppn)
+				nd := fs.inodes[ref.ino]
 				nd.pages[ref.page] = dst
 				fs.segs[fs.segOf(dst)].valid++
 				fs.backrefs[dst] = ref
 			}
-			fs.moveNext(victim, page+1)
+			// else: removed mid-move — the copy at dst stays unmapped
+			// garbage for a later clean; the original was already
+			// invalidated by Remove, so nothing to double-count.
+			st.busy = false
+			fs.pumpClean()
 		})
 	})
 }
 
-// cleanAlloc allocates without recursing into cleaning.
+// cleanAlloc allocates a relocation destination on the cleaning lane
+// without recursing into cleaning.
 func (fs *FS) cleanAlloc() (int, error) {
-	return fs.allocRoundRobin()
+	return fs.allocRoundRobin(fs.cleanLane)
 }
 
-func (fs *FS) eraseSeg(victim int) {
-	a := fs.addrOf(victim * fs.geo.PagesPerBlock)
-	a.Page = 0
-	fs.iface.Erase(a, func(err error) {
-		s := &fs.segs[victim]
+// maybeErase issues the victim erase once relocation is complete and
+// no app read is in flight against the victim. After relocation no
+// mapping points into the victim, so no new read can resolve there —
+// the count only drains.
+func (fs *FS) maybeErase() {
+	st := fs.cleanst
+	if st == nil || !st.relocated || st.eraseIssued {
+		return
+	}
+	if fs.readsInflight[st.victim] > 0 {
+		return
+	}
+	st.eraseIssued = true
+	victim := st.victim
+	fs.b.EraseSeg(victim, func(err error) {
 		if err != nil {
-			s.bad = true
+			fs.markBad(victim)
 		} else {
+			s := &fs.segs[victim]
 			s.valid = 0
 			s.written = 0
 			fs.SegsCleaned++
+			fs.stalled = false
 			ch := fs.chipOf(victim)
 			fs.freePool[ch] = append(fs.freePool[ch], victim)
+			fs.freeSegs++
+			fs.notifyUrgency()
 		}
 		fs.finishClean()
 	})
@@ -514,6 +826,11 @@ func (fs *FS) eraseSeg(victim int) {
 
 func (fs *FS) finishClean() {
 	fs.cleaning = false
+	fs.cleanst = nil
+	if fs.hooks.CleanEnd != nil {
+		fs.hooks.CleanEnd()
+	}
+	fs.notifyUrgency()
 	ops := fs.pendingOps
 	fs.pendingOps = nil
 	for _, op := range ops {
@@ -525,7 +842,49 @@ func (fs *FS) finishClean() {
 	}
 }
 
-// LiveMappings returns the number of page-mapping entries the file
-// system currently holds — only live data is mapped, which is the
-// memory-footprint half of the RFS argument (paper §4).
-func (fs *FS) LiveMappings() int { return len(fs.backrefs) }
+// CheckInvariants verifies the mapping bookkeeping: every backref
+// points at a live inode page that maps back to it, every mapped page
+// has its backref, and per-segment valid counts match the backref
+// census. Tests call it after adversarial interleavings.
+func (fs *FS) CheckInvariants() error {
+	valid := make([]int, len(fs.segs))
+	for ppn, ref := range fs.backrefs {
+		valid[fs.segOf(ppn)]++
+		if ref.ino < 0 || ref.ino >= len(fs.inodes) {
+			return fmt.Errorf("rfs: backref %d -> bad inode %d", ppn, ref.ino)
+		}
+		nd := fs.inodes[ref.ino]
+		if !nd.live {
+			return fmt.Errorf("rfs: backref %d -> dead inode %d", ppn, ref.ino)
+		}
+		if ref.page >= len(nd.pages) || nd.pages[ref.page] != ppn {
+			return fmt.Errorf("rfs: backref %d -> (%d,%d) but mapping disagrees", ppn, ref.ino, ref.page)
+		}
+	}
+	for ino, nd := range fs.inodes {
+		if !nd.live {
+			continue
+		}
+		for pg, ppn := range nd.pages {
+			if ppn < 0 {
+				continue
+			}
+			if ref, ok := fs.backrefs[ppn]; !ok || ref != (fileRef{ino: ino, page: pg}) {
+				return fmt.Errorf("rfs: mapping (%d,%d)->%d missing backref", ino, pg, ppn)
+			}
+		}
+	}
+	for s := range fs.segs {
+		if fs.segs[s].valid != valid[s] {
+			return fmt.Errorf("rfs: seg %d valid=%d but %d live backrefs", s, fs.segs[s].valid, valid[s])
+		}
+	}
+	pool := 0
+	for _, p := range fs.freePool {
+		pool += len(p)
+	}
+	if pool != fs.freeSegs {
+		return fmt.Errorf("rfs: free counter %d but pools hold %d", fs.freeSegs, pool)
+	}
+	return nil
+}

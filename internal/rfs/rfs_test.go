@@ -184,7 +184,7 @@ func TestPhysicalAddrsAndATU(t *testing.T) {
 	// Log-structured allocation must stripe across both buses.
 	buses := map[int]bool{}
 	for _, a := range addrs {
-		buses[a.Bus] = true
+		buses[a.Addr.Bus] = true
 	}
 	if len(buses) < 1 {
 		t.Fatal("no addresses at all")

@@ -188,6 +188,15 @@ func (v *Volume) NewStream(name string, class sched.Class) (*Stream, error) {
 // Class returns the stream's QoS class.
 func (st *Stream) Class() sched.Class { return st.class }
 
+// LogicalPages returns the volume's logical page count. Together with
+// PageSize it makes a stream usable as a flat block device
+// (blockfs.Device) — the "conventional FS on the storage manager" arm
+// of the file-layer ablation.
+func (st *Stream) LogicalPages() int { return st.v.Pages() }
+
+// PageSize returns the volume's page size.
+func (st *Stream) PageSize() int { return st.v.PageSize() }
+
 // Read fetches a logical page. The callback fires when the page is in
 // host memory (or failed); scheduler backpressure is absorbed by
 // retrying, so unlike sched.Stream.Read there is no admission error.
