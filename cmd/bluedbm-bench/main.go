@@ -15,6 +15,8 @@
 //	                               # distributed ISP-F vs host-mediated + QoS
 //	bluedbm-bench -run fs -json BENCH_FS.json
 //	                               # blockfs-on-FTL vs cluster RFS vs RFS + ISP file scans
+//	bluedbm-bench -run apps -json BENCH_APPS.json
+//	                               # distributed NN + migrating traversal vs host twins
 //	bluedbm-bench -list            # list experiment ids
 package main
 
@@ -117,12 +119,29 @@ func fsRunner(short bool, jsonPath string) func() (string, error) {
 	}
 }
 
+// appsRunner drives the distributed-applications experiment: cluster
+// nearest-neighbor and migrating in-store graph traversal vs their
+// host-centric twins, under concurrent realtime foreground load.
+func appsRunner(short bool, jsonPath string) func() (string, error) {
+	return func() (string, error) {
+		res, err := experiments.Apps(experiments.DefaultApps(short))
+		if err != nil {
+			return "", err
+		}
+		if err := writeJSON(jsonPath, res); err != nil {
+			return "", err
+		}
+		return experiments.FormatApps(res), nil
+	}
+}
+
 func allRunners(short bool, jsonPath string) []runner {
 	return []runner{
 		{"sched", "multi-stream scheduler: QoS latency and batched-submission throughput", true, schedRunner(short, jsonPath)},
 		{"gc", "logical volume + FTL garbage collection: GC-aware vs GC-oblivious realtime p99", true, gcRunner(short, jsonPath)},
 		{"isp", "distributed in-store processing: ISP-F vs host-mediated throughput + realtime p99 under contention", true, ispRunner(short, jsonPath)},
 		{"fs", "file stack: blockfs-on-FTL vs cluster RFS vs cluster RFS + distributed file scans (Figure 8 end-to-end)", true, fsRunner(short, jsonPath)},
+		{"apps", "distributed applications: cluster nearest-neighbor + migrating graph traversal vs host-centric twins", true, appsRunner(short, jsonPath)},
 		{"table1", "Artix-7 flash controller resources", false, func() (string, error) {
 			return experiments.FormatTable1(8), nil
 		}},
@@ -245,7 +264,7 @@ func main() {
 			}
 		}
 		if jsonRunners > 1 {
-			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched, gc and isp experiments separately")
+			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched/gc/isp/fs/apps experiments separately")
 			os.Exit(2)
 		}
 	}

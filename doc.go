@@ -43,7 +43,12 @@
 //	internal/ispvol       distributed in-store processing over
 //	                      volume+sched+fabric: per-node engines admitted at
 //	                      the Accel class, fan-out/merge queries over volume
-//	                      ranges and over cluster-RFS files (Figure 8)
+//	                      ranges and over cluster-RFS files (Figure 8) —
+//	                      string search, table scan, nearest-neighbor
+//	                      (NearestNeighbor/-File + host twins) — and
+//	                      in-store graph traversal with walker migration
+//	                      (WalkMigrate: state moves to the data over the
+//	                      fabric instead of pages moving to a home node)
 //	internal/workload     deterministic generators and traffic drivers
 //	internal/experiments  the paper's tables and figures + the sched/gc/isp
 //	                      benchmark experiments
@@ -56,6 +61,7 @@
 // bench harness in bench_test.go regenerates every table and figure of
 // the paper's evaluation; cmd/bluedbm-bench does the same from the
 // command line, including the beyond-the-paper experiments (-run
-// sched, -run gc, -run isp, -run fs) whose committed artifacts are
-// BENCH_SCHED.json, BENCH_GC.json, BENCH_ISP.json and BENCH_FS.json.
+// sched, -run gc, -run isp, -run fs, -run apps) whose committed
+// artifacts are BENCH_SCHED.json, BENCH_GC.json, BENCH_ISP.json,
+// BENCH_FS.json and BENCH_APPS.json.
 package repro

@@ -36,7 +36,12 @@ type Graph struct {
 	cfg     Config
 	cluster *core.Cluster
 	adj     [][]uint32 // in-memory reference copy (for oracles/tests)
-	placeOn []int      // storage nodes hosting vertices
+	placeOn []int      // storage nodes hosting vertices (striped layout)
+	// addrs, when non-nil, pins vertex v's adjacency page to addrs[v]
+	// explicitly instead of the striped SeedLinear layout — the form
+	// used when the graph lives in a logical volume or file system and
+	// page placement is whatever the FTLs chose.
+	addrs []core.PageAddr
 }
 
 // EncodePage serializes an adjacency list into one flash page.
@@ -91,20 +96,7 @@ func Build(c *core.Cluster, cfg Config) (*Graph, error) {
 	}
 
 	g := &Graph{cfg: cfg, cluster: c, placeOn: hosts}
-	rng := sim.NewRNG(cfg.Seed)
-	g.adj = make([][]uint32, cfg.Vertices)
-	for v := range g.adj {
-		deg := 1 + rng.Intn(2*cfg.AvgDegree-1)
-		maxDeg := c.Params.PageSize()/4 - 1
-		if deg > maxDeg {
-			deg = maxDeg
-		}
-		nbs := make([]uint32, deg)
-		for i := range nbs {
-			nbs[i] = uint32(rng.Intn(cfg.Vertices))
-		}
-		g.adj[v] = nbs
-	}
+	g.adj = GenAdjacency(cfg, c.Params.PageSize())
 
 	// Store: vertex v -> host hosts[v % H], dense index v / H.
 	ps := c.Params.PageSize()
@@ -132,11 +124,59 @@ func Build(c *core.Cluster, cfg Config) (*Graph, error) {
 	return g, nil
 }
 
+// GenAdjacency generates the synthetic adjacency lists for cfg,
+// deterministically in cfg.Seed, capped so every list encodes into
+// one page of pageSize bytes. It is the data half of Build, exported
+// so graphs stored through other layers (a logical volume, a file
+// system) hold exactly the same topology as a raw-flash Build with
+// the same config.
+func GenAdjacency(cfg Config, pageSize int) [][]uint32 {
+	rng := sim.NewRNG(cfg.Seed)
+	adj := make([][]uint32, cfg.Vertices)
+	for v := range adj {
+		deg := 1 + rng.Intn(2*cfg.AvgDegree-1)
+		maxDeg := pageSize/4 - 1
+		if deg > maxDeg {
+			deg = maxDeg
+		}
+		nbs := make([]uint32, deg)
+		for i := range nbs {
+			nbs[i] = uint32(rng.Intn(cfg.Vertices))
+		}
+		adj[v] = nbs
+	}
+	return adj
+}
+
+// NewStored wraps a graph whose adjacency pages are ALREADY stored in
+// the cluster, one vertex per page, with vertex v's page at addrs[v] —
+// the form used when the graph lives in a logical volume (addresses
+// from volume.PhysMap) or a cluster file (rfs.File.PhysicalAddrs).
+// The addresses are snapshots: the backing store must stay read-only
+// for the graph's lifetime, exactly like the ispvol queries' address
+// lists. adj is the in-memory oracle matching the stored pages
+// (usually GenAdjacency with the same config the pages were encoded
+// from).
+func NewStored(c *core.Cluster, cfg Config, adj [][]uint32, addrs []core.PageAddr) (*Graph, error) {
+	if cfg.Vertices <= 0 || len(adj) != cfg.Vertices || len(addrs) != cfg.Vertices {
+		return nil, fmt.Errorf("graph: stored graph shape mismatch: %d vertices, %d lists, %d addrs",
+			cfg.Vertices, len(adj), len(addrs))
+	}
+	return &Graph{cfg: cfg, cluster: c, adj: adj, addrs: addrs}, nil
+}
+
 // PageOf returns the flash location of vertex v's adjacency page.
 func (g *Graph) PageOf(v int) core.PageAddr {
+	if g.addrs != nil {
+		return g.addrs[v]
+	}
 	h := v % len(g.placeOn)
 	return core.LinearPage(g.cluster.Params, g.placeOn[h], v/len(g.placeOn))
 }
+
+// OwnerOf returns the node holding vertex v's adjacency page — the
+// node a migrating walker must run its next lookup on.
+func (g *Graph) OwnerOf(v int) int { return g.PageOf(v).Node }
 
 // Vertices returns the vertex count.
 func (g *Graph) Vertices() int { return g.cfg.Vertices }

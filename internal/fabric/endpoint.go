@@ -23,14 +23,20 @@ type Endpoint struct {
 	credits   map[NodeID]int
 	blocked   map[NodeID][]func()
 
-	nextSeq map[NodeID]uint64
-
 	// reassembly of in-flight inbound messages per source
 	partial map[NodeID]*partialMsg
 
-	// stats
+	// stats. Sent and Received count user messages only, so a fully
+	// delivered workload always satisfies Sent == peer.Received even
+	// under end-to-end flow control; the credit-return control
+	// messages that e2e mode generates are tallied separately.
 	Sent     int64
 	Received int64
+	// CtrlSent / CtrlReceived count end-to-end credit-return control
+	// messages (sent by the receiver of a wantAck message, consumed by
+	// its sender). They never appear in Sent/Received/Delivered.
+	CtrlSent     int64
+	CtrlReceived int64
 }
 
 type partialMsg struct {
@@ -48,7 +54,6 @@ func (nd *Node) BindEndpoint(idx int) (*Endpoint, error) {
 		index:   idx,
 		credits: make(map[NodeID]int),
 		blocked: make(map[NodeID][]func()),
-		nextSeq: make(map[NodeID]uint64),
 		partial: make(map[NodeID]*partialMsg),
 	}
 	nd.endpoints[idx] = ep
@@ -99,15 +104,19 @@ func (ep *Endpoint) Send(dst NodeID, size int, payload any, onAccepted func()) e
 	return nil
 }
 
-// transmitMsg segments and injects one message.
+// transmitMsg segments and injects one message. Control messages
+// (e2e credit returns) are invisible to the user-message stats: they
+// are link plumbing, not payload traffic, and counting them in Sent
+// made Sent != Received even when every user message arrived.
 func (ep *Endpoint) transmitMsg(dst NodeID, size int, payload any, onAccepted func(), ctrl, wantAck bool) {
-	ep.Sent++
 	mtu := ep.node.net.cfg.MTU
-	seq := ep.nextSeq[dst]
-	ep.nextSeq[dst] = seq + 1
+	if ctrl {
+		ep.CtrlSent++
+	} else {
+		ep.Sent++
+	}
 
 	remaining := size
-	offset := 0
 	for {
 		segBytes := remaining
 		if segBytes > mtu {
@@ -116,7 +125,7 @@ func (ep *Endpoint) transmitMsg(dst NodeID, size int, payload any, onAccepted fu
 		last := remaining-segBytes == 0
 		seg := &segment{
 			src: ep.node.id, dst: dst, ep: ep.index,
-			msgSeq: seq, last: last, payload: segBytes, msgBytes: size,
+			last: last, payload: segBytes, msgBytes: size,
 			ctrl: ctrl, wantAck: wantAck,
 		}
 		if last {
@@ -129,7 +138,6 @@ func (ep *Endpoint) transmitMsg(dst NodeID, size int, payload any, onAccepted fu
 		if err := ep.node.inject(seg, acc); err != nil {
 			panic(fmt.Sprintf("fabric: inject failed after route check: %v", err))
 		}
-		offset += segBytes
 		remaining -= segBytes
 		if last {
 			break
@@ -143,6 +151,7 @@ func (ep *Endpoint) transmitMsg(dst NodeID, size int, payload any, onAccepted fu
 func (ep *Endpoint) receiveSegment(seg *segment) {
 	if seg.ctrl {
 		// Credit return: unblock one queued send toward seg.src.
+		ep.CtrlReceived++
 		ep.credits[seg.src]++
 		if q := ep.blocked[seg.src]; len(q) > 0 {
 			ep.blocked[seg.src] = q[1:]

@@ -56,7 +56,13 @@ type Config struct {
 	MTU int
 	// LinkTokens is the credit depth per link direction: how many
 	// segments the receiver can buffer. Token exhaustion backpressures
-	// the sender (§3.2.2).
+	// the sender (§3.2.2). Each direction additionally carries one
+	// reserved forwarding credit that only in-transit segments may
+	// consume (bubble flow control): a source injection must leave at
+	// least one credit free, so a cycle of saturated links — a ring at
+	// full load — always keeps a bubble that lets forwarded segments
+	// drain instead of deadlocking on the hold-and-wait between an
+	// inbound and an outbound credit.
 	LinkTokens int
 	// PortsPerNode bounds the fan-out, 8 in the paper's hardware.
 	PortsPerNode int
@@ -76,24 +82,102 @@ func DefaultConfig() Config {
 }
 
 // segment is the wire unit: one MTU-or-smaller piece of a message.
+// Segments of one message arrive contiguously in order (routing is
+// deterministic per endpoint and links are FIFO), so no sequence
+// number is needed for reassembly.
 type segment struct {
 	src, dst NodeID
-	ep       int    // logical endpoint index
-	msgSeq   uint64 // per (ep, src, dst) message number
-	last     bool   // final segment of its message
-	payload  int    // payload bytes in this segment
-	msgBytes int    // total payload bytes of the message
-	body     any    // user payload; carried on the last segment
-	ctrl     bool   // end-to-end credit return, bypasses e2e windows
-	wantAck  bool   // sender runs e2e flow control; return a credit
+	ep       int  // logical endpoint index
+	last     bool // final segment of its message
+	payload  int  // payload bytes in this segment
+	msgBytes int  // total payload bytes of the message
+	body     any  // user payload; carried on the last segment
+	ctrl     bool // end-to-end credit return, bypasses e2e windows
+	wantAck  bool // sender runs e2e flow control; return a credit
 }
 
 // halfLink is one direction of a physical link.
 type halfLink struct {
-	pipe   *sim.Pipe
-	tokens *sim.TokenPool
-	to     *Node
-	toPort int
+	pipe    *sim.Pipe
+	credits *linkCredits
+	to      *Node
+	toPort  int
+}
+
+// linkCredits is one link direction's credit store, implementing
+// bubble flow control: capacity LinkTokens+1, where the extra credit
+// is reserved for forwarded (in-transit) segments. A source injection
+// must see two free credits and takes one, so it can never consume
+// the last slot; a forwarder may take it. Waiters are served from ONE
+// FIFO queue — the fairness property of plain credit flow control —
+// with exactly one exception: when only the reserved credit remains
+// and the queue head is an injection (which may not touch it), the
+// first waiting forwarder overtakes it. A waiting forwarder holds a
+// credit on its inbound link (hold-and-wait), so letting a stuck
+// injection block it would reintroduce the cyclic-dependency deadlock
+// the reserve exists to break; everywhere above the reserve, strict
+// FIFO keeps injections live under sustained transit load (at the
+// degenerate LinkTokens=1 there is no headroom above the reserve, so
+// saturating transit lawfully monopolizes the link until it idles).
+// Grants within each class stay in order, so per-flow segment
+// ordering is unaffected (a flow only ever injects at its source and
+// only ever forwards at transit nodes).
+type linkCredits struct {
+	free int
+	q    []linkWaiter
+}
+
+type linkWaiter struct {
+	fwd bool // forwarder (needs 1 free) vs injection (needs 2)
+	fn  func()
+}
+
+func (lc *linkCredits) acquireFwd(fn func()) { lc.enqueue(linkWaiter{fwd: true, fn: fn}) }
+func (lc *linkCredits) acquireInj(fn func()) { lc.enqueue(linkWaiter{fwd: false, fn: fn}) }
+
+func (lc *linkCredits) enqueue(w linkWaiter) {
+	lc.q = append(lc.q, w)
+	lc.serve()
+}
+
+// release returns one credit and serves waiters.
+func (lc *linkCredits) release() {
+	lc.free++
+	lc.serve()
+}
+
+// need is the free-credit threshold to grant w (both take one).
+func (w linkWaiter) need() int {
+	if w.fwd {
+		return 1
+	}
+	return 2
+}
+
+func (lc *linkCredits) serve() {
+	for len(lc.q) > 0 {
+		head := lc.q[0]
+		if lc.free >= head.need() {
+			lc.q = lc.q[1:]
+			lc.free--
+			head.fn()
+			continue
+		}
+		// Head is an injection and only the reserved credit remains:
+		// the first waiting forwarder may take it past the head.
+		if !head.fwd && lc.free == 1 {
+			for i := 1; i < len(lc.q); i++ {
+				if lc.q[i].fwd {
+					w := lc.q[i]
+					lc.q = append(lc.q[:i], lc.q[i+1:]...)
+					lc.free--
+					w.fn()
+					break
+				}
+			}
+		}
+		return
+	}
 }
 
 // Link is a full-duplex cable between two node ports.
@@ -125,10 +209,15 @@ type Node struct {
 	ports     []*halfLink // outgoing half-links by port index; nil = free
 	portPeer  []NodeID    // neighbor on each port, -1 = free
 	endpoints map[int]*Endpoint
-	// routes[ep][dst] = output port. Endpoint key -1 holds default
-	// routes used by endpoints with no specific entry.
+	// routes[ep][dst] = output port. Endpoint key DefaultEP (-1) holds
+	// default routes used by endpoints with no specific entry.
 	routes map[int][]int
 }
+
+// DefaultEP is the routes-table key holding a node's default routes:
+// SetRoute(DefaultEP, dst, port) configures the route every endpoint
+// without a private entry for dst will use.
+const DefaultEP = -1
 
 // New creates a network with n nodes and no links.
 func New(eng *sim.Engine, cfg Config, n int) *Network {
@@ -177,10 +266,12 @@ func (n *Network) Connect(a, b NodeID) error {
 	mk := func(dir string, to *Node, toPort int) *halfLink {
 		name := fmt.Sprintf("link%d-%d/%s", a, b, dir)
 		return &halfLink{
-			pipe:   sim.NewPipe(n.eng, name, n.cfg.LinkBytesPerSec, n.cfg.HopLatency),
-			tokens: sim.NewTokenPool(name, n.cfg.LinkTokens),
-			to:     to,
-			toPort: toPort,
+			// +1 is the reserved forwarding credit (bubble flow
+			// control); see linkCredits.
+			pipe:    sim.NewPipe(n.eng, name, n.cfg.LinkBytesPerSec, n.cfg.HopLatency),
+			credits: &linkCredits{free: n.cfg.LinkTokens + 1},
+			to:      to,
+			toPort:  toPort,
 		}
 	}
 	l := &Link{a: na, b: nb, aPort: pa, bPort: pb}
@@ -303,10 +394,16 @@ func (nd *Node) SetRoute(ep int, dst NodeID, port int) error {
 	return nil
 }
 
-// routePort resolves the output port for (ep, dst), falling back to
-// endpoint 0's table when the endpoint has no private table.
+// routePort resolves the output port for (ep, dst). Endpoints with no
+// private entry fall back to the default table (endpoint key -1, the
+// software-configured catch-all of SetRoute), and then — for
+// compatibility with deployments that predate the default table — to
+// endpoint 0's table.
 func (nd *Node) routePort(ep int, dst NodeID) (int, error) {
 	if tbl, ok := nd.routes[ep]; ok && tbl[dst] >= 0 {
+		return tbl[dst], nil
+	}
+	if tbl, ok := nd.routes[DefaultEP]; ok && tbl[dst] >= 0 {
 		return tbl[dst], nil
 	}
 	if tbl, ok := nd.routes[0]; ok && tbl[dst] >= 0 {
@@ -334,7 +431,13 @@ func (nd *Node) inject(seg *segment, onAccepted func()) error {
 		return err
 	}
 	hl := nd.ports[port]
-	hl.tokens.Acquire(1, func() {
+	// Bubble flow control: a source injection must leave the reserved
+	// forwarding credit free. arrive() holds a segment's inbound
+	// credit while it waits for the outbound one (hold-and-wait), so a
+	// traffic cycle — a saturated ring — could otherwise fill every
+	// link and deadlock; with injections barred from the last credit,
+	// every cycle always retains a bubble and forwarded segments drain.
+	hl.credits.acquireInj(func() {
 		if onAccepted != nil {
 			onAccepted()
 		}
@@ -361,7 +464,7 @@ func (nd *Node) arrive(in *halfLink, seg *segment) {
 	if seg.dst == nd.id {
 		nd.net.eng.After(nd.net.cfg.InternalLatency, func() {
 			nd.deliver(seg)
-			in.tokens.Release(1)
+			in.credits.release()
 		})
 		return
 	}
@@ -371,8 +474,8 @@ func (nd *Node) arrive(in *halfLink, seg *segment) {
 		panic(fmt.Sprintf("fabric: node %d cannot forward to %d: %v", nd.id, seg.dst, err))
 	}
 	out := nd.ports[port]
-	out.tokens.Acquire(1, func() {
-		in.tokens.Release(1)
+	out.credits.acquireFwd(func() {
+		in.credits.release()
 		nd.transmit(out, seg)
 	})
 }

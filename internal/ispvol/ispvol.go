@@ -36,6 +36,15 @@
 // the whole appliance scans a file at flash bandwidth with the host
 // only resolving addresses and merging results.
 //
+// On top of the scan queries sit the paper's flagship applications:
+// nearest-neighbor search over LSH candidate lists (NearestNeighbor
+// and NearestNeighborFile, with host-mediated twins), where each
+// node's engine Hamming-compares its candidates inline and only
+// per-node bests cross the network, and in-store graph traversal
+// with walker migration (WalkMigrate), where the walk's state —
+// vertex, steps, checksum, RNG — hops node to node over the fabric
+// so every dependent lookup reads flash locally.
+//
 // The package also implements the two comparison arms the experiments
 // need: Bypass admission (the pre-fix bug path — raw device
 // interfaces, invisible to the scheduler) and host-mediated queries
@@ -210,11 +219,23 @@ func (sys *System) receive(ns *nodeISP, payload any) {
 		sys.runSearchPart(ns, m)
 	case *scanStartMsg:
 		sys.runScanPart(ns, m)
+	case *nnStartMsg:
+		sys.runNNPart(ns, m)
+	case *walkerMsg:
+		sys.runWalkStep(ns, m)
 	case *searchPartMsg:
 		if q, ok := sys.pending[m.query]; ok {
 			q.part(m)
 		}
 	case *scanPartMsg:
+		if q, ok := sys.pending[m.query]; ok {
+			q.part(m)
+		}
+	case *nnPartMsg:
+		if q, ok := sys.pending[m.query]; ok {
+			q.part(m)
+		}
+	case *walkDoneMsg:
 		if q, ok := sys.pending[m.query]; ok {
 			q.part(m)
 		}
@@ -357,6 +378,45 @@ func (sys *System) runEngine(n int, refs []pageRef, scan func(i int, ref pageRef
 		}
 		pump()
 	})
+}
+
+// hostScanLoop is the depth-bounded closed loop every host-mediated
+// arm shares: read page i through the host path, hand the data (or
+// the read error) to onPage, and fire finish once every page has been
+// handled. The host arms get the same I/O concurrency budget the ISP
+// arms have (engines x window); each slot is read-then-process, so
+// slots overlap flash, PCIe and CPU work across each other. onPage
+// must call slotDone exactly once, synchronously or from a later
+// event (a worker-thread completion).
+func (sys *System) hostScanLoop(pages int, read func(i int, cb func([]byte, error)),
+	onPage func(i int, data []byte, err error, slotDone func()), finish func()) {
+	if pages == 0 {
+		finish()
+		return
+	}
+	depth := sys.cfg.UnitsPerNode * sys.cfg.Window
+	if depth > pages {
+		depth = pages
+	}
+	next, inflight := 0, 0
+	var pump func()
+	slotDone := func() {
+		inflight--
+		if inflight == 0 && next >= pages {
+			finish()
+			return
+		}
+		pump()
+	}
+	pump = func() {
+		for inflight < depth && next < pages {
+			i := next
+			next++
+			inflight++
+			read(i, func(data []byte, err error) { onPage(i, data, err, slotDone) })
+		}
+	}
+	pump()
 }
 
 // startQuery registers origin-side query state and returns its id.

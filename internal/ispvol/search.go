@@ -322,62 +322,30 @@ func (sys *System) searchHostScan(origin, pages, ps int, read func(qidx int, cb 
 	}
 	scanCost := sim.Time(ps) * search.GrepCPUPerByte * sim.Nanosecond
 
-	// The host arm gets the same I/O concurrency budget the ISP arm
-	// has (engines x window); each slot is read-then-scan, so slots
-	// overlap flash, PCIe and CPU work across each other.
-	depth := sys.cfg.UnitsPerNode * sys.cfg.Window
-	if depth > pages {
-		depth = pages
-	}
-	next, inflight := 0, 0
 	// Same merge as the distributed arm; the pages are already in host
 	// memory, so there is no final DMA to pay.
-	finish := func() {
+	sys.hostScanLoop(pages, read, func(qidx int, data []byte, err error, slotDone func()) {
+		if err != nil {
+			q.failed++
+			slotDone()
+			return
+		}
+		w := workers[qidx%threads]
+		w.th.Do(scanCost, func() {
+			w.sc.Reset(int64(qidx) * int64(ps))
+			w.sc.Feed(data, func(pos int64) {
+				q.matches = append(q.matches, pos)
+			})
+			h, t := pat.EdgeBytes(data)
+			q.heads[qidx] = append([]byte(nil), h...)
+			q.tails[qidx] = append([]byte(nil), t...)
+			slotDone()
+		})
+	}, func() {
 		res := q.merge()
 		q.stamp(res)
 		done(res, nil)
-	}
-	if pages == 0 {
-		finish()
-		return
-	}
-	var pump func()
-	pump = func() {
-		for inflight < depth && next < pages {
-			qidx := next
-			next++
-			inflight++
-			w := workers[qidx%threads]
-			read(qidx, func(data []byte, err error) {
-				if err != nil {
-					q.failed++
-					inflight--
-					if inflight == 0 && next >= pages {
-						finish()
-						return
-					}
-					pump()
-					return
-				}
-				w.th.Do(scanCost, func() {
-					w.sc.Reset(int64(qidx) * int64(ps))
-					w.sc.Feed(data, func(pos int64) {
-						q.matches = append(q.matches, pos)
-					})
-					h, t := pat.EdgeBytes(data)
-					q.heads[qidx] = append([]byte(nil), h...)
-					q.tails[qidx] = append([]byte(nil), t...)
-					inflight--
-					if inflight == 0 && next >= pages {
-						finish()
-						return
-					}
-					pump()
-				})
-			})
-		}
-	}
-	pump()
+	})
 }
 
 // SearchSync runs Search and drains the engine; for tests and

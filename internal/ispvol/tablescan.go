@@ -239,58 +239,31 @@ func (sys *System) tableScanHost(origin, pages, ps int, read func(qidx int, cb f
 	}
 	pageCost := sim.Time(tablescan.RecordsPerPage(ps)) * tablescan.HostFilterCPUPerRow
 
-	depth := sys.cfg.UnitsPerNode * sys.cfg.Window
-	if depth > pages {
-		depth = pages
-	}
-	next, inflight := 0, 0
-	finish := func() {
+	sys.hostScanLoop(pages, read, func(qidx int, data []byte, err error, slotDone func()) {
+		if err != nil {
+			res.FailedPages++
+			slotDone()
+			return
+		}
+		res.BytesToHost += int64(len(data))
+		w := workers[qidx%threads]
+		w.Do(pageCost, func() {
+			if matches, rows, ferr := tablescan.FilterPage(data, pred); ferr == nil {
+				res.Rows += rows
+				res.Matches = append(res.Matches, matches...)
+			} else {
+				res.FailedPages++
+			}
+			slotDone()
+		})
+	}, func() {
 		sort.Slice(res.Matches, func(i, j int) bool { return res.Matches[i].ID < res.Matches[j].ID })
 		res.Elapsed = sys.c.Eng.Now() - start
 		if res.Elapsed > 0 {
 			res.RowsPerSec = float64(res.Rows) / res.Elapsed.Seconds()
 		}
 		done(res, nil)
-	}
-	if pages == 0 {
-		finish()
-		return
-	}
-	var pump func()
-	pump = func() {
-		for inflight < depth && next < pages {
-			qidx := next
-			next++
-			inflight++
-			w := workers[qidx%threads]
-			read(qidx, func(data []byte, err error) {
-				slotDone := func() {
-					inflight--
-					if inflight == 0 && next >= pages {
-						finish()
-						return
-					}
-					pump()
-				}
-				if err != nil {
-					res.FailedPages++
-					slotDone()
-					return
-				}
-				res.BytesToHost += int64(len(data))
-				w.Do(pageCost, func() {
-					if matches, rows, ferr := tablescan.FilterPage(data, pred); ferr == nil {
-						res.Rows += rows
-						res.Matches = append(res.Matches, matches...)
-					} else {
-						res.FailedPages++
-					}
-					slotDone()
-				})
-			})
-		}
-	}
-	pump()
+	})
 }
 
 // TableScanSync runs TableScan and drains the engine.

@@ -18,6 +18,17 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// State returns the generator's internal state. Together with
+// NewRNGFromState it lets a random stream be serialized mid-walk and
+// resumed elsewhere — e.g. a graph walker migrating between in-store
+// processors carries its RNG state in the walker message so the
+// distributed walk replays the exact reference vertex sequence.
+func (r *RNG) State() uint64 { return r.state }
+
+// NewRNGFromState resumes a generator from a saved State. Unlike
+// NewRNG it performs no warm-up: the state is already warm.
+func NewRNGFromState(state uint64) *RNG { return &RNG{state: state} }
+
 // Uint64 returns the next 64 pseudo-random bits (splitmix64).
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -241,13 +241,22 @@ func (st *Stream) Trim(lpn int) error {
 // trim, or GC relocation of the page invalidates it — so engines scan
 // read-stable data or re-query after mutation.
 func (st *Stream) Locate(lpn int) (core.PageAddr, error) {
-	if lpn < 0 || lpn >= st.v.Pages() {
+	return st.v.Phys(lpn)
+}
+
+// Phys resolves one logical page to its current physical address —
+// the point form of PhysMap for queries over scattered candidate
+// lists (LSH buckets, graph vertices) rather than contiguous ranges.
+// The address is a snapshot: an overwrite, trim or GC relocation of
+// the page invalidates it.
+func (v *Volume) Phys(lpn int) (core.PageAddr, error) {
+	if lpn < 0 || lpn >= v.Pages() {
 		return core.PageAddr{}, fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
 	}
-	cd, clpn := st.v.locate(lpn)
+	cd, clpn := v.locate(lpn)
 	a, err := cd.f.Phys(clpn)
 	if err != nil {
-		return core.PageAddr{}, err
+		return core.PageAddr{}, fmt.Errorf("lpn %d: %w", lpn, err)
 	}
 	return core.PageAddr{Node: cd.node, Card: cd.idx, Addr: a}, nil
 }
