@@ -17,7 +17,15 @@
 //	                               # blockfs-on-FTL vs cluster RFS vs RFS + ISP file scans
 //	bluedbm-bench -run apps -json BENCH_APPS.json
 //	                               # distributed NN + migrating traversal vs host twins
+//	bluedbm-bench -run engine -json BENCH_ENGINE.json
+//	                               # event-engine speed: events/sec at 4/16/64 nodes
 //	bluedbm-bench -list            # list experiment ids
+//
+// Profiling the simulator itself (any experiment selection):
+//
+//	bluedbm-bench -run engine -cpuprofile cpu.pb.gz
+//	bluedbm-bench -run engine -memprofile mem.pb.gz
+//	bluedbm-bench -run engine -trace trace.out
 package main
 
 import (
@@ -25,6 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strings"
 
@@ -135,8 +146,26 @@ func appsRunner(short bool, jsonPath string) func() (string, error) {
 	}
 }
 
+// engineRunner drives the event-engine benchmark: the synthetic
+// full-stack load swept over cluster sizes, measuring the simulation
+// substrate (events/sec, ns/event, allocs/event) rather than the
+// modeled hardware.
+func engineRunner(short bool, jsonPath string) func() (string, error) {
+	return func() (string, error) {
+		res, err := experiments.EngineBench(experiments.DefaultEngineBench(short))
+		if err != nil {
+			return "", err
+		}
+		if err := writeJSON(jsonPath, res); err != nil {
+			return "", err
+		}
+		return experiments.FormatEngineBench(res), nil
+	}
+}
+
 func allRunners(short bool, jsonPath string) []runner {
 	return []runner{
+		{"engine", "event-engine speed: events/sec, ns/event, allocs/event at 4/16/64 nodes", true, engineRunner(short, jsonPath)},
 		{"sched", "multi-stream scheduler: QoS latency and batched-submission throughput", true, schedRunner(short, jsonPath)},
 		{"gc", "logical volume + FTL garbage collection: GC-aware vs GC-oblivious realtime p99", true, gcRunner(short, jsonPath)},
 		{"isp", "distributed in-store processing: ISP-F vs host-mediated throughput + realtime p99 under contention", true, ispRunner(short, jsonPath)},
@@ -218,18 +247,69 @@ func allRunners(short bool, jsonPath string) []runner {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body; it returns the exit code so profiling defers
+// (StopCPUProfile, trace.Stop, the -memprofile writer) run before the
+// process exits.
+func run() int {
 	runFlag := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	short := flag.Bool("short", false, "reduced request counts for smoke runs (sched, gc)")
 	jsonPath := flag.String("json", "", "write the sched/gc experiment's JSON metrics to this file (run them separately)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
+	traceFile := flag.String("trace", "", "write a runtime execution trace of the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bluedbm-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bluedbm-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bluedbm-bench: -trace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bluedbm-bench: -trace: %v\n", err)
+			return 1
+		}
+		defer trace.Stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bluedbm-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "bluedbm-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	runners := allRunners(*short, *jsonPath)
 	if *list {
 		for _, r := range runners {
 			fmt.Printf("%-8s %s\n", r.id, r.desc)
 		}
-		return
+		return 0
 	}
 
 	want := map[string]bool{}
@@ -250,7 +330,7 @@ func main() {
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
 			fmt.Fprintf(os.Stderr, "bluedbm-bench: unknown experiment(s): %s\n", strings.Join(unknown, ", "))
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -264,8 +344,8 @@ func main() {
 			}
 		}
 		if jsonRunners > 1 {
-			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched/gc/isp/fs/apps experiments separately")
-			os.Exit(2)
+			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched/gc/isp/fs/apps/engine experiments separately")
+			return 2
 		}
 	}
 
@@ -283,6 +363,7 @@ func main() {
 		fmt.Println(out)
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -11,7 +11,10 @@
 //
 // Package map, bottom up:
 //
-//	internal/sim          event engine, pipes, token pools, RNG, tallies
+//	internal/sim          allocation-free event engine (hierarchical timer
+//	                      wheel + far heap, pooled generation-counted
+//	                      events, reusable Timers), pipes, token pools
+//	                      with ring-buffered waiters, RNG, tallies
 //	internal/nand         raw NAND cards: buses, chips, blocks, pages
 //	internal/ecc          SEC-DED Hamming codes over every page
 //	internal/flashctl     tagged flash controller (paper §3.1.1)
@@ -61,7 +64,9 @@
 // bench harness in bench_test.go regenerates every table and figure of
 // the paper's evaluation; cmd/bluedbm-bench does the same from the
 // command line, including the beyond-the-paper experiments (-run
-// sched, -run gc, -run isp, -run fs, -run apps) whose committed
-// artifacts are BENCH_SCHED.json, BENCH_GC.json, BENCH_ISP.json,
-// BENCH_FS.json and BENCH_APPS.json.
+// engine, -run sched, -run gc, -run isp, -run fs, -run apps) whose
+// committed artifacts are BENCH_ENGINE.json, BENCH_SCHED.json,
+// BENCH_GC.json, BENCH_ISP.json, BENCH_FS.json and BENCH_APPS.json.
+// Profiling flags (-cpuprofile, -memprofile, -trace) work with every
+// experiment.
 package repro

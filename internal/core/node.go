@@ -82,7 +82,7 @@ type reqMsg struct {
 	dram    bool // serve from the on-device DRAM buffer (H-D)
 	write   bool
 	erase   bool
-	bg      bool // background (GC) traffic: keep off the latency FIFOs
+	bg      bool   // background (GC) traffic: keep off the latency FIFOs
 	data    []byte // payload for writes
 }
 
@@ -133,6 +133,11 @@ type Node struct {
 
 	nextReq uint64
 	pending map[uint64]func(data []byte, err error)
+
+	// batchFree recycles doorbell batch slices: SubmitHostBatch takes
+	// ownership of its reqs argument and parks the storage here once
+	// the RPC loop has consumed it; GetBatch hands it back out.
+	batchFree [][]HostReq
 }
 
 // ID returns the node index.
@@ -391,6 +396,11 @@ type AccelRouter func(origin int, a PageAddr, cb func(data []byte, err error))
 // batch's software work and is free for the next doorbell; schedulers
 // use it to accumulate the next batch instead of committing early to
 // many small doorbells.
+//
+// The node takes ownership of reqs: the slice is recycled internally
+// once the doorbell's RPC has issued every request, so callers must
+// not touch it after the call. Obtain a recycled slice with GetBatch
+// to make steady-state submission allocation-free.
 func (n *Node) SubmitHostBatch(reqs []HostReq, issued func()) {
 	if len(reqs) == 0 {
 		return
@@ -413,9 +423,24 @@ func (n *Node) SubmitHostBatch(reqs []HostReq, issued func()) {
 				default:
 					n.issueHostRead(r.Addr, r.Background, r.Done)
 				}
+				reqs[i] = HostReq{}
 			}
+			n.batchFree = append(n.batchFree, reqs[:0])
 		})
 	})
+}
+
+// GetBatch returns a zero-length HostReq slice for building the next
+// doorbell batch, reusing storage from a batch the node has finished
+// issuing when one is available.
+func (n *Node) GetBatch() []HostReq {
+	if k := len(n.batchFree); k > 0 {
+		b := n.batchFree[k-1]
+		n.batchFree[k-1] = nil
+		n.batchFree = n.batchFree[:k-1]
+		return b
+	}
+	return nil
 }
 
 // hostIface picks the foreground or background flash interface of a

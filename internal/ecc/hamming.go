@@ -9,6 +9,7 @@ package ecc
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrUncorrectable reports a detected double-bit error (or worse) that
@@ -54,26 +55,51 @@ func buildPosData() [72]int {
 	return out
 }
 
+// encTab[j][b] is the contribution of byte j of the data word holding
+// value b: the XOR of dataPos for its set bits in bits 0..6 (syndrome
+// positions are < 128) and the byte's parity in bit 7. XORing the
+// eight entries therefore yields the whole word's Hamming syndrome
+// and data parity in one pass — the encoder runs per flash page word
+// on every program AND every read (Decode recomputes it), so this
+// table is the single hottest path in the simulator.
+var encTab = buildEncTab()
+
+func buildEncTab() [8][256]byte {
+	var tab [8][256]byte
+	for j := 0; j < 8; j++ {
+		for b := 0; b < 256; b++ {
+			syndrome := 0
+			parity := 0
+			for k := 0; k < 8; k++ {
+				if b>>uint(k)&1 == 1 {
+					syndrome ^= dataPos[8*j+k]
+					parity ^= 1
+				}
+			}
+			tab[j][b] = byte(syndrome) | byte(parity)<<7
+		}
+	}
+	return tab
+}
+
 // Encode computes the 8 check bits for a 64-bit data word. The returned
 // byte has the 7 Hamming syndrome bits in bits 0..6 and the overall
 // parity in bit 7.
 func Encode(data uint64) byte {
-	var syndrome int
-	parity := 0
-	for i := 0; i < 64; i++ {
-		if data>>uint(i)&1 == 1 {
-			syndrome ^= dataPos[i]
-			parity ^= 1
-		}
-	}
-	// The check bits at power-of-two positions are exactly the syndrome
-	// bits; each set check bit also contributes to the overall parity.
-	for b := 0; b < 7; b++ {
-		if syndrome>>uint(b)&1 == 1 {
-			parity ^= 1
-		}
-	}
-	return byte(syndrome) | byte(parity)<<7
+	t := encTab[0][byte(data)] ^
+		encTab[1][byte(data>>8)] ^
+		encTab[2][byte(data>>16)] ^
+		encTab[3][byte(data>>24)] ^
+		encTab[4][byte(data>>32)] ^
+		encTab[5][byte(data>>40)] ^
+		encTab[6][byte(data>>48)] ^
+		encTab[7][byte(data>>56)]
+	syndrome := t & 0x7f
+	// Bit 7 of t is the data parity; the check bits at power-of-two
+	// positions are exactly the syndrome bits, and each set check bit
+	// also contributes to the overall parity.
+	parity := (t >> 7) ^ byte(bits.OnesCount8(syndrome)&1)
+	return syndrome | parity<<7
 }
 
 // Decode checks a received (data, check) pair, correcting a single
@@ -113,20 +139,10 @@ func Decode(data uint64, check byte) (corrected uint64, fixed int, err error) {
 
 // parity64 returns the XOR of all bits of v.
 func parity64(v uint64) int {
-	v ^= v >> 32
-	v ^= v >> 16
-	v ^= v >> 8
-	v ^= v >> 4
-	v ^= v >> 2
-	v ^= v >> 1
-	return int(v & 1)
+	return bits.OnesCount64(v) & 1
 }
 
 // popcount8 counts set bits in a byte.
 func popcount8(b byte) int {
-	n := 0
-	for ; b != 0; b &= b - 1 {
-		n++
-	}
-	return n
+	return bits.OnesCount8(b)
 }

@@ -77,6 +77,31 @@ func (c *PageCodec) DecodePage(raw []byte) (DecodeResult, error) {
 	return DecodeResult{Data: data, Corrected: fixed}, nil
 }
 
+// DecodePageInPlace verifies and corrects a raw stored image, writing
+// corrections directly into raw's data region and returning it as a
+// sub-slice. The caller must own raw (the flash read path hands each
+// caller a private copy). Semantics otherwise match DecodePage.
+func (c *PageCodec) DecodePageInPlace(raw []byte) (DecodeResult, error) {
+	if len(raw) != c.StoredSize() {
+		return DecodeResult{}, fmt.Errorf("ecc: decode: raw is %d bytes, want %d", len(raw), c.StoredSize())
+	}
+	data := raw[:c.pageSize]
+	oob := raw[c.pageSize:]
+	fixed := 0
+	for i := 0; i < c.pageSize; i += 8 {
+		w := binary.LittleEndian.Uint64(data[i:])
+		cw, n, err := Decode(w, oob[i/8])
+		if err != nil {
+			return DecodeResult{}, fmt.Errorf("word at byte %d: %w", i, err)
+		}
+		if n > 0 && cw != w {
+			binary.LittleEndian.PutUint64(data[i:], cw)
+		}
+		fixed += n
+	}
+	return DecodeResult{Data: data, Corrected: fixed}, nil
+}
+
 // FlipBit flips bit (bitIndex mod 8) of byte bitIndex/8 in buf, in
 // place. It is the error-injection helper used by nand and by tests.
 func FlipBit(buf []byte, bitIndex int) {

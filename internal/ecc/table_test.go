@@ -1,0 +1,80 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// encodeReference is the original bit-at-a-time encoder. The
+// table-driven Encode must agree with it on every input: the tables
+// are a pure speed optimization and any divergence silently changes
+// what every simulated flash page stores.
+func encodeReference(data uint64) byte {
+	var syndrome int
+	parity := 0
+	for i := 0; i < 64; i++ {
+		if data>>uint(i)&1 == 1 {
+			syndrome ^= dataPos[i]
+			parity ^= 1
+		}
+	}
+	for b := 0; b < 7; b++ {
+		if syndrome>>uint(b)&1 == 1 {
+			parity ^= 1
+		}
+	}
+	return byte(syndrome) | byte(parity)<<7
+}
+
+func TestEncodeMatchesReference(t *testing.T) {
+	// Structured corners: single bits, runs, all-ones, zero.
+	words := []uint64{0, ^uint64(0)}
+	for i := 0; i < 64; i++ {
+		words = append(words, 1<<uint(i), ^uint64(0)>>uint(i), ^uint64(0)<<uint(i))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		words = append(words, rng.Uint64())
+	}
+	for _, w := range words {
+		if got, want := Encode(w), encodeReference(w); got != want {
+			t.Fatalf("Encode(%#x) = %#x, reference = %#x", w, got, want)
+		}
+	}
+}
+
+func TestDecodePageInPlaceMatchesDecodePage(t *testing.T) {
+	c, err := NewPageCodec(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, c.PageSize())
+		rng.Read(data)
+		raw, err := c.EncodePage(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip up to 2 bits in distinct words (still correctable).
+		for f := 0; f < rng.Intn(3); f++ {
+			FlipBit(raw, rng.Intn(c.StoredSize()*8))
+		}
+		rawCopy := append([]byte(nil), raw...)
+
+		res1, err1 := c.DecodePage(raw)
+		res2, err2 := c.DecodePageInPlace(rawCopy)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: DecodePage err=%v, in-place err=%v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if res1.Corrected != res2.Corrected {
+			t.Fatalf("trial %d: corrected %d vs in-place %d", trial, res1.Corrected, res2.Corrected)
+		}
+		if string(res1.Data) != string(res2.Data) {
+			t.Fatalf("trial %d: in-place decode data diverges", trial)
+		}
+	}
+}

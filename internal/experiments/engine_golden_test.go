@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Golden values captured from the pre-refactor engine (global
+// min-heap, heap-allocated events). The timer-wheel/pool engine must
+// reproduce them exactly: the wheel changes the *data structure*, not
+// the (time, insertion-seq) firing order, so every latency sample,
+// batch boundary and coalescing decision — and therefore this digest
+// — must be byte-identical. If a substrate change moves these values
+// it changed simulation semantics, not just speed, and either has a
+// bug or needs this golden (and an explanation) updated.
+const (
+	goldenEngineFired  = 65591
+	goldenEngineNow    = sim.Time(50188497)
+	goldenEngineDigest = "3163921aec0dedd746aa50dbd68784b80dd0f16d39efe635f0881f8df1bf378b"
+)
+
+// goldenScenario runs the seeded 4-node full-stack scenario: the
+// engine-bench workload mix (multi-class, cluster-addressed reads and
+// writes through scheduler, fabric, host interface and NAND) at a
+// fixed size.
+func goldenScenario(t *testing.T) (fired uint64, now sim.Time, digest string) {
+	t.Helper()
+	const nodes = 4
+	cfg := DefaultEngineBench(false)
+	cfg.Requests = 48
+
+	c, err := core.NewCluster(scaledParams(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < nodes; n++ {
+		if err := c.SeedLinear(n, cfg.Pages, workload.RandomPages(cfg.Seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := sched.New(c, cfg.Sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := workload.RunClosedLoop(s, c, engineSpecs(cfg, nodes), cfg.Pages, cfg.Depth, cfg.Requests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := json.Marshal(struct {
+		Loop  workload.LoopResult `json:"loop"`
+		Sched sched.Snapshot      `json:"sched"`
+	}{loop, s.Snapshot()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(blob)
+	return c.Eng.Fired(), c.Eng.Now(), hex.EncodeToString(sum[:])
+}
+
+// TestEngineGoldenDeterminism pins the substrate's exact event
+// ordering across refactors (and across runs: the scenario is fully
+// seeded, so two executions in the same binary must already agree).
+func TestEngineGoldenDeterminism(t *testing.T) {
+	fired, now, digest := goldenScenario(t)
+	if fired != goldenEngineFired {
+		t.Errorf("events fired = %d, want %d (event population changed)", fired, goldenEngineFired)
+	}
+	if now != goldenEngineNow {
+		t.Errorf("final virtual time = %d, want %d (timing changed)", int64(now), int64(goldenEngineNow))
+	}
+	if digest != goldenEngineDigest {
+		t.Errorf("stats digest = %s, want %s (latency/throughput stats drifted)", digest, goldenEngineDigest)
+	}
+}

@@ -19,12 +19,16 @@ type Endpoint struct {
 	// e2eWindow > 0 enables end-to-end flow control: at most window
 	// unacknowledged messages per destination. Zero disables it for the
 	// low-latency configuration the paper describes (§3.2.3).
+	// Per-destination state is dense (indexed by NodeID — the node
+	// population is fixed at Network construction) so the send hot path
+	// never hashes or allocates map cells.
 	e2eWindow int
-	credits   map[NodeID]int
-	blocked   map[NodeID][]func()
+	credits   []int          // remaining e2e credits toward each dst
+	blocked   [][]blockedMsg // sends waiting on a credit, per dst
 
-	// reassembly of in-flight inbound messages per source
-	partial map[NodeID]*partialMsg
+	// partial[src] accumulates payload bytes of the in-flight inbound
+	// message from src (reassembly; segments arrive contiguously).
+	partial []int
 
 	// stats. Sent and Received count user messages only, so a fully
 	// delivered workload always satisfies Sent == peer.Received even
@@ -39,8 +43,12 @@ type Endpoint struct {
 	CtrlReceived int64
 }
 
-type partialMsg struct {
-	got int
+// blockedMsg is a send parked behind exhausted e2e credits, stored by
+// value so queuing does not allocate a closure per blocked message.
+type blockedMsg struct {
+	size       int
+	payload    any
+	onAccepted func()
 }
 
 // BindEndpoint creates (or returns an error for a duplicate) logical
@@ -49,12 +57,13 @@ func (nd *Node) BindEndpoint(idx int) (*Endpoint, error) {
 	if _, dup := nd.endpoints[idx]; dup {
 		return nil, fmt.Errorf("%w: %d on node %d", ErrBadEndpoint, idx, nd.id)
 	}
+	n := len(nd.net.nodes)
 	ep := &Endpoint{
 		node:    nd,
 		index:   idx,
-		credits: make(map[NodeID]int),
-		blocked: make(map[NodeID][]func()),
-		partial: make(map[NodeID]*partialMsg),
+		credits: make([]int, n),
+		blocked: make([][]blockedMsg, n),
+		partial: make([]int, n),
 	}
 	nd.endpoints[idx] = ep
 	return ep, nil
@@ -73,6 +82,9 @@ func (ep *Endpoint) Node() *Node { return ep.node }
 // (messages in flight per destination), or disables it with 0.
 func (ep *Endpoint) SetEndToEnd(window int) {
 	ep.e2eWindow = window
+	for i := range ep.credits {
+		ep.credits[i] = window
+	}
 }
 
 // Send transmits a message of size payload bytes to the endpoint with
@@ -87,13 +99,8 @@ func (ep *Endpoint) Send(dst NodeID, size int, payload any, onAccepted func()) e
 		return fmt.Errorf("fabric: negative size %d", size)
 	}
 	if ep.e2eWindow > 0 {
-		if _, ok := ep.credits[dst]; !ok {
-			ep.credits[dst] = ep.e2eWindow
-		}
 		if ep.credits[dst] == 0 {
-			ep.blocked[dst] = append(ep.blocked[dst], func() {
-				ep.transmitMsg(dst, size, payload, onAccepted, false, true)
-			})
+			ep.blocked[dst] = append(ep.blocked[dst], blockedMsg{size: size, payload: payload, onAccepted: onAccepted})
 			return nil
 		}
 		ep.credits[dst]--
@@ -154,22 +161,19 @@ func (ep *Endpoint) receiveSegment(seg *segment) {
 		ep.CtrlReceived++
 		ep.credits[seg.src]++
 		if q := ep.blocked[seg.src]; len(q) > 0 {
+			b := q[0]
+			q[0] = blockedMsg{}
 			ep.blocked[seg.src] = q[1:]
 			ep.credits[seg.src]--
-			q[0]()
+			ep.transmitMsg(seg.src, b.size, b.payload, b.onAccepted, false, true)
 		}
 		return
 	}
-	pm := ep.partial[seg.src]
-	if pm == nil {
-		pm = &partialMsg{}
-		ep.partial[seg.src] = pm
-	}
-	pm.got += seg.payload
+	ep.partial[seg.src] += seg.payload
 	if !seg.last {
 		return
 	}
-	delete(ep.partial, seg.src)
+	ep.partial[seg.src] = 0
 	ep.Received++
 	if seg.wantAck {
 		// Return a credit to the sender as a small control message.

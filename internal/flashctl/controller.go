@@ -240,15 +240,15 @@ func (c *Controller) WriteData(tag int, data []byte) error {
 		return fmt.Errorf("%w: got %d, want %d", ErrDataSize, len(data), c.PageSize())
 	}
 	c.tags[tag] = tagWriting
-	buf := make([]byte, len(data))
-	copy(buf, data)
 	addr := c.addrs[tag]
-	// Data crosses the serial link in 128-bit bursts (modelled as one
-	// serialized transfer), is ECC-encoded, then programmed.
-	c.fromUser.Transfer(len(buf), func() {
-		raw, err := c.codec.EncodePage(buf)
-		if err != nil {
-			c.finishWrite(tag, err)
+	// Encoding is pure, so it runs now — EncodePage's output buffer
+	// doubles as the snapshot of data, replacing a separate defensive
+	// copy. Data crosses the serial link in 128-bit bursts (modelled as
+	// one serialized transfer), then is programmed.
+	raw, encErr := c.codec.EncodePage(data)
+	c.fromUser.Transfer(len(data), func() {
+		if encErr != nil {
+			c.finishWrite(tag, encErr)
 			return
 		}
 		c.card.ProgramPage(addr, raw, func(err error) {
@@ -271,7 +271,9 @@ func (c *Controller) startRead(tag int, addr nand.Addr) {
 			c.finishRead(tag, 0, err)
 			return
 		}
-		res, err := c.codec.DecodePage(raw)
+		// The card hands each read its own copy of the stored page, so
+		// the decode can correct bits in place instead of copying.
+		res, err := c.codec.DecodePageInPlace(raw)
 		if err != nil {
 			c.Uncorrectable.Inc()
 			c.finishRead(tag, 0, fmt.Errorf("%w: %v: %v", ErrUncorrectable, addr, err))

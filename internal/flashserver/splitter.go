@@ -28,6 +28,7 @@ type Splitter struct {
 	freeTags []int
 	queue    []*pendingCmd // waiting for a controller tag, FIFO
 	bindings []binding     // indexed by controller tag
+	h        flashctl.Handlers
 
 	// stats
 	renames int64
@@ -65,12 +66,18 @@ func NewSplitter(ctl *flashctl.Controller) *Splitter {
 	for i := n - 1; i >= 0; i-- {
 		sp.freeTags = append(sp.freeTags, i)
 	}
+	sp.h = sp.buildHandlers()
 	return sp
 }
 
 // Handlers returns the controller-side handler set that routes
 // completions back through the splitter. Pass this to flashctl.New.
-func (sp *Splitter) Handlers() flashctl.Handlers {
+// The set is built once at construction, so callers may fetch it per
+// event (the usual forward-declaration wiring does) without allocating
+// closures on the completion path.
+func (sp *Splitter) Handlers() flashctl.Handlers { return sp.h }
+
+func (sp *Splitter) buildHandlers() flashctl.Handlers {
 	return flashctl.Handlers{
 		ReadChunk: func(tag, offset int, chunk []byte, last bool) {
 			b := sp.bindings[tag]

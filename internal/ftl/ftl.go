@@ -113,11 +113,11 @@ type FTL struct {
 	blocks    []blockInfo
 	freePool  []int // min-heap of free block indices, keyed on erase count
 
-	actives    map[IOTag]int // per-tag frontier block
-	gcActive   bool          // a collection is triggered (ops queue behind it)
-	gcRunning  bool          // relocation I/O has started
-	gcStalled  bool          // last collection made no progress: no room to relocate
-	prevWear   bool          // last collection was a wear pass (forces greedy next)
+	actives    [256]int32 // per-tag frontier block, dense by IOTag; -1 = none
+	gcActive   bool       // a collection is triggered (ops queue behind it)
+	gcRunning  bool       // relocation I/O has started
+	gcStalled  bool       // last collection made no progress: no room to relocate
+	prevWear   bool       // last collection was a wear pass (forces greedy next)
 	gcst       *gcState
 	gcCount    int64
 	pendingOps []func() // writes queued behind GC by the reserve gate
@@ -163,7 +163,9 @@ func NewWithBackend(io Backend, geo nand.Geometry, cfg Config) (*FTL, error) {
 		p2l:       make([]int, total),
 		pageState: make([]pageState, total),
 		blocks:    make([]blockInfo, geo.Buses*geo.ChipsPerBus*geo.BlocksPerChip),
-		actives:   make(map[IOTag]int),
+	}
+	for i := range f.actives {
+		f.actives[i] = -1
 	}
 	for i := range f.l2p {
 		f.l2p[i] = -1
@@ -488,8 +490,8 @@ func (f *FTL) retireBlock(blk int) {
 	bi.isActive = false
 	f.BadBlocks++
 	for tag, a := range f.actives {
-		if a == blk {
-			delete(f.actives, tag)
+		if a == int32(blk) {
+			f.actives[tag] = -1
 		}
 	}
 }
@@ -498,10 +500,10 @@ func (f *FTL) retireBlock(blk int) {
 // had to start first (retry is the op to requeue behind the GC).
 func (f *FTL) allocPage(tag IOTag, retry func()) (int, error) {
 	for {
-		if blk, ok := f.actives[tag]; ok {
+		if blk := int(f.actives[tag]); blk >= 0 {
 			b := &f.blocks[blk]
 			if b.bad {
-				delete(f.actives, tag)
+				f.actives[tag] = -1
 				continue
 			}
 			if b.written < f.geo.PagesPerBlock {
@@ -510,7 +512,7 @@ func (f *FTL) allocPage(tag IOTag, retry func()) (int, error) {
 				return ppn, nil
 			}
 			b.isActive = false
-			delete(f.actives, tag)
+			f.actives[tag] = -1
 		}
 		// Need a new frontier block. A stalled FTL (last collection
 		// found no room to relocate) must not re-trigger the same
@@ -545,7 +547,7 @@ func (f *FTL) allocPage(tag IOTag, retry func()) (int, error) {
 			return 0, ErrNoSpace
 		}
 		blk := f.popLeastWorn()
-		f.actives[tag] = blk
+		f.actives[tag] = int32(blk)
 		ab := &f.blocks[blk]
 		ab.isActive = true
 		ab.written = 0
@@ -796,7 +798,7 @@ func (f *FTL) relocate(ppn int) {
 // recursing into GC.
 func (f *FTL) gcAllocPage() (int, error) {
 	for {
-		if blk, ok := f.actives[TagGC]; ok {
+		if blk := int(f.actives[TagGC]); blk >= 0 {
 			b := &f.blocks[blk]
 			if !b.bad && b.written < f.geo.PagesPerBlock {
 				ppn := blk*f.geo.PagesPerBlock + b.written
@@ -804,13 +806,13 @@ func (f *FTL) gcAllocPage() (int, error) {
 				return ppn, nil
 			}
 			b.isActive = false
-			delete(f.actives, TagGC)
+			f.actives[TagGC] = -1
 		}
 		if len(f.freePool) == 0 {
 			return 0, ErrNoSpace
 		}
 		blk := f.popLeastWorn()
-		f.actives[TagGC] = blk
+		f.actives[TagGC] = int32(blk)
 		ab := &f.blocks[blk]
 		ab.isActive = true
 		ab.written = 0

@@ -625,15 +625,15 @@ func TestRetireBlockClearsActive(t *testing.T) {
 	if err := syncWrite(t, f, 0, page(geo, 1)); err != nil {
 		t.Fatal(err)
 	}
-	blk, ok := f.actives[0]
-	if !ok {
+	blk := int(f.actives[0])
+	if blk < 0 {
 		t.Fatal("no active frontier after a write")
 	}
 	f.retireBlock(blk)
 	if f.blocks[blk].isActive {
 		t.Fatal("retired block still marked active")
 	}
-	if _, ok := f.actives[0]; ok {
+	if f.actives[0] >= 0 {
 		t.Fatal("retired block still installed as a frontier")
 	}
 	// Writes keep working on a fresh frontier.

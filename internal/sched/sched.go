@@ -201,6 +201,46 @@ type request struct {
 	// followers are coalesced duplicate reads riding this request's
 	// flash operation; they hold no queue slot of their own.
 	followers []*request
+
+	// Pool plumbing: requests are recycled through Scheduler.freeReqs,
+	// so the per-dispatch completion callback is bound once, at first
+	// allocation, instead of once per doorbell. nq is the queue the
+	// request is currently admitted to (rebound on every reuse);
+	// done forwards device completions to nq.complete. routedWcb
+	// adapts rcb's two-argument host-router signature to the write
+	// callback without a per-request closure.
+	nq        *nodeQueue
+	done      func(data []byte, err error)
+	routedWcb func(err error)
+}
+
+// getReq pops a recycled request (or allocates one, binding its reusable
+// callbacks to the new request's identity). All fields except the
+// callbacks and recycled buffer capacity are zero.
+func (s *Scheduler) getReq() *request {
+	if n := len(s.freeReqs); n > 0 {
+		r := s.freeReqs[n-1]
+		s.freeReqs[n-1] = nil
+		s.freeReqs = s.freeReqs[:n-1]
+		return r
+	}
+	r := &request{}
+	r.done = func(data []byte, err error) { r.nq.complete(r, data, err) }
+	r.routedWcb = func(err error) { r.rcb(nil, err) }
+	return r
+}
+
+// putReq recycles a finished (or rejected) request. The caller must
+// guarantee no outstanding reference: completion has fired and the
+// request is in no queue, table or follower list.
+func (s *Scheduler) putReq(r *request) {
+	*r = request{
+		data:      r.data[:0],
+		followers: r.followers[:0],
+		done:      r.done,
+		routedWcb: r.routedWcb,
+	}
+	s.freeReqs = append(s.freeReqs, r)
 }
 
 // Scheduler admits streams into one cluster.
@@ -210,6 +250,9 @@ type Scheduler struct {
 	cfg     Config
 	nodes   []*nodeQueue
 	stats   stats
+
+	// freeReqs is the request recycle pool (LIFO for cache warmth).
+	freeReqs []*request
 }
 
 // New attaches a scheduler to a cluster. The scheduler shares the
@@ -243,18 +286,23 @@ func (s *Scheduler) AttachRouter(class Class) error {
 		return fmt.Errorf("sched: %v is the device-side ISP class; host traffic cannot use it", class)
 	}
 	s.cluster.SetHostRouter(func(node int, req core.HostReq) error {
-		r := &request{class: class, statClass: class, addr: req.Addr, write: req.Write, enq: s.eng.Now()}
+		r := s.getReq()
+		r.class, r.statClass, r.addr, r.write, r.enq = class, class, req.Addr, req.Write, s.eng.Now()
 		if req.Write {
 			// Snapshot the payload: it sits in the admission queue
 			// after the caller's HostWrite returns, and callers are
 			// free to reuse their buffer once the call returns.
-			r.data = append([]byte(nil), req.Data...)
-			done := req.Done
-			r.wcb = func(err error) { done(nil, err) }
+			r.data = append(r.data[:0], req.Data...)
+			r.rcb = req.Done
+			r.wcb = r.routedWcb
 		} else {
 			r.rcb = req.Done
 		}
-		return s.nodes[node].admit(r)
+		if err := s.nodes[node].admit(r); err != nil {
+			s.putReq(r)
+			return err
+		}
+		return nil
 	})
 	return nil
 }
@@ -330,12 +378,144 @@ type nodeQueue struct {
 	ringing bool
 
 	// pendingReads indexes queued (not yet dispatched) reads for
-	// coalescing.
-	pendingReads map[core.PageAddr]*request
+	// coalescing. It is an open-addressed linear-probe table (Knuth
+	// 6.4R deletion) rather than a Go map: admit/pop hit it on every
+	// read, and the table keeps that path free of map-cell allocation
+	// and hash-iteration overhead. Slots with a nil request are empty;
+	// occupancy is bounded by QueueDepth, and the table grows to keep
+	// load factor at or below 1/2.
+	pendingReads []readSlot
+	pendingLen   int
+
+	// kickFn and ringFn are the dispatch-round and doorbell-issued
+	// callbacks, bound once so kick() and dispatchHost() never
+	// allocate a closure (a method value would).
+	kickFn func()
+	ringFn func()
+
+	// batch is the dispatch scratch list, reused across doorbells.
+	batch []*request
+}
+
+// readSlot is one pendingReads table entry.
+type readSlot struct {
+	addr core.PageAddr
+	r    *request
 }
 
 func newNodeQueue(s *Scheduler, node *core.Node) *nodeQueue {
-	return &nodeQueue{s: s, node: node, pendingReads: make(map[core.PageAddr]*request)}
+	nq := &nodeQueue{s: s, node: node, pendingReads: make([]readSlot, 64)}
+	nq.kickFn = func() {
+		nq.kicked = false
+		nq.dispatch()
+	}
+	nq.ringFn = func() {
+		nq.ringing = false
+		nq.kick()
+	}
+	return nq
+}
+
+// hashAddr mixes a page address into a table index (splitmix64 tail;
+// collisions are resolved by probing, so quality only affects speed).
+func hashAddr(a core.PageAddr) uint64 {
+	const mult = 0x9E3779B97F4A7C15
+	h := uint64(a.Node)
+	h = h*mult + uint64(a.Card)
+	h = h*mult + uint64(a.Addr.Bus)
+	h = h*mult + uint64(a.Addr.Chip)
+	h = h*mult + uint64(a.Addr.Block)
+	h = h*mult + uint64(a.Addr.Page)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// readLookup returns the queued read lead for addr, or nil.
+func (nq *nodeQueue) readLookup(a core.PageAddr) *request {
+	if nq.pendingLen == 0 {
+		return nil
+	}
+	mask := uint64(len(nq.pendingReads) - 1)
+	for i := hashAddr(a) & mask; ; i = (i + 1) & mask {
+		s := &nq.pendingReads[i]
+		if s.r == nil {
+			return nil
+		}
+		if s.addr == a {
+			return s.r
+		}
+	}
+}
+
+// readInsert records r as the coalescing lead for its address. The
+// caller has checked the address is absent.
+func (nq *nodeQueue) readInsert(r *request) {
+	if (nq.pendingLen+1)*2 > len(nq.pendingReads) {
+		old := nq.pendingReads
+		nq.pendingReads = make([]readSlot, 2*len(old))
+		nq.pendingLen = 0
+		for i := range old {
+			if old[i].r != nil {
+				nq.readInsert(old[i].r)
+			}
+		}
+	}
+	mask := uint64(len(nq.pendingReads) - 1)
+	i := hashAddr(r.addr) & mask
+	for nq.pendingReads[i].r != nil {
+		i = (i + 1) & mask
+	}
+	nq.pendingReads[i] = readSlot{addr: r.addr, r: r}
+	nq.pendingLen++
+}
+
+// readDelete removes the entry for addr. With mustMatch non-nil the
+// entry is only removed if it holds that exact request (pop's check
+// that a dispatched read is still its address's lead).
+func (nq *nodeQueue) readDelete(a core.PageAddr, mustMatch *request) {
+	if nq.pendingLen == 0 {
+		return
+	}
+	mask := uint64(len(nq.pendingReads) - 1)
+	i := hashAddr(a) & mask
+	for {
+		s := &nq.pendingReads[i]
+		if s.r == nil {
+			return
+		}
+		if s.addr == a {
+			if mustMatch != nil && s.r != mustMatch {
+				return
+			}
+			break
+		}
+		i = (i + 1) & mask
+	}
+	nq.pendingLen--
+	// Backward-shift deletion: refill the hole with any later cluster
+	// entry whose probe path runs through it, so lookups never stop
+	// early at a tombstone-free hole.
+	nq.pendingReads[i] = readSlot{}
+	j := i
+	for {
+		j = (j + 1) & mask
+		e := &nq.pendingReads[j]
+		if e.r == nil {
+			return
+		}
+		h := hashAddr(e.addr) & mask
+		// Entry j may stay iff its home h lies cyclically in (i, j].
+		if (j > i && h > i && h <= j) || (j < i && (h > i || h <= j)) {
+			continue
+		}
+		nq.pendingReads[i] = *e
+		*e = readSlot{}
+		i = j
+	}
 }
 
 // admit enqueues a request or reports backpressure. Coalesced reads
@@ -344,8 +524,9 @@ func newNodeQueue(s *Scheduler, node *core.Node) *nodeQueue {
 // paths complete through different hardware (device-side scan vs host
 // DMA), so sharing one flash op would skip real work for one of them.
 func (nq *nodeQueue) admit(r *request) error {
+	r.nq = nq
 	if !r.write && !r.erase && !r.accel && nq.s.cfg.Coalesce {
-		if lead, ok := nq.pendingReads[r.addr]; ok {
+		if lead := nq.readLookup(r.addr); lead != nil {
 			lead.followers = append(lead.followers, r)
 			nq.s.stats.class(r.statClass).coalesced++
 			// Priority inheritance: a high-priority follower must not
@@ -371,7 +552,7 @@ func (nq *nodeQueue) admit(r *request) error {
 		// device pipeline may reorder them); tenants that need
 		// read-your-write must await the write's completion, as the
 		// workload drivers' disjoint read/log regions do by design.
-		delete(nq.pendingReads, r.addr)
+		nq.readDelete(r.addr, nil)
 	}
 	nq.q[r.class] = append(nq.q[r.class], r)
 	nq.qlen++
@@ -379,7 +560,7 @@ func (nq *nodeQueue) admit(r *request) error {
 		nq.peak = nq.qlen
 	}
 	if !r.write && !r.erase && !r.accel && nq.s.cfg.Coalesce {
-		nq.pendingReads[r.addr] = r
+		nq.readInsert(r)
 	}
 	nq.kick()
 	return nil
@@ -398,10 +579,7 @@ func (nq *nodeQueue) kick() {
 		return
 	}
 	nq.kicked = true
-	nq.s.eng.After(0, func() {
-		nq.kicked = false
-		nq.dispatch()
-	})
+	nq.s.eng.After(0, nq.kickFn)
 }
 
 // accelReady reports whether a queued Accel read could be granted a
@@ -445,7 +623,7 @@ func (nq *nodeQueue) dispatchHost() {
 		return
 	}
 
-	var batch []*request
+	batch := nq.batch[:0]
 	var took [NumClasses]int
 	bgTaken := 0
 	// Aging pass: any class starved for AgingRounds consecutive
@@ -502,6 +680,7 @@ func (nq *nodeQueue) dispatchHost() {
 		// Only Background work is queued and its token budget is spent:
 		// the in-flight relocation ops will kick a new round when they
 		// complete (or SetGCUrgency raises the budget).
+		nq.batch = batch
 		return
 	}
 	nq.inflight += len(batch)
@@ -509,22 +688,22 @@ func (nq *nodeQueue) dispatchHost() {
 	nq.ringing = true
 	nq.s.stats.batches++
 	nq.s.stats.batchedReqs += int64(len(batch))
-	reqs := make([]core.HostReq, len(batch))
-	for i, r := range batch {
-		r := r
-		reqs[i] = core.HostReq{
+	reqs := nq.node.GetBatch()
+	for _, r := range batch {
+		reqs = append(reqs, core.HostReq{
 			Addr:       r.addr,
 			Write:      r.write,
 			Erase:      r.erase,
 			Background: r.class == Background,
 			Data:       r.data,
-			Done:       func(data []byte, err error) { nq.complete(r, data, err) },
-		}
+			Done:       r.done,
+		})
 	}
-	nq.node.SubmitHostBatch(reqs, func() {
-		nq.ringing = false
-		nq.kick()
-	})
+	for i := range batch {
+		batch[i] = nil
+	}
+	nq.batch = batch[:0]
+	nq.node.SubmitHostBatch(reqs, nq.ringFn)
 }
 
 // dispatchAccel grants queued Accel-class reads device-window slots —
@@ -539,10 +718,7 @@ func (nq *nodeQueue) dispatchAccel() {
 		r := nq.pop(Accel)
 		nq.inflight++
 		nq.accelInflight++
-		req := r
-		nq.s.cluster.Node(req.origin).ISPReadDirect(req.addr, func(data []byte, err error) {
-			nq.complete(req, data, err)
-		})
+		nq.s.cluster.Node(r.origin).ISPReadDirect(r.addr, r.done)
 	}
 }
 
@@ -588,8 +764,8 @@ func (nq *nodeQueue) pop(cl Class) *request {
 	nq.q[cl][0] = nil
 	nq.q[cl] = nq.q[cl][1:]
 	nq.qlen--
-	if !r.write && nq.s.cfg.Coalesce && nq.pendingReads[r.addr] == r {
-		delete(nq.pendingReads, r.addr)
+	if !r.write && nq.s.cfg.Coalesce {
+		nq.readDelete(r.addr, r)
 	}
 	return r
 }
@@ -625,9 +801,12 @@ func (nq *nodeQueue) complete(r *request, data []byte, err error) {
 		nq.accelInflight--
 	}
 	nq.s.finish(r, data, err)
-	for _, f := range r.followers {
+	for i, f := range r.followers {
 		nq.s.finish(f, data, err)
+		nq.s.putReq(f)
+		r.followers[i] = nil
 	}
+	nq.s.putReq(r)
 	nq.kick()
 }
 

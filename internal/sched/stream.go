@@ -53,8 +53,10 @@ func (st *Stream) Read(a core.PageAddr, cb func(data []byte, err error)) error {
 	if st.closed {
 		return ErrClosed
 	}
-	r := &request{class: st.class, statClass: st.class, addr: a, enq: st.s.eng.Now(), rcb: cb}
+	r := st.s.getReq()
+	r.class, r.statClass, r.addr, r.enq, r.rcb = st.class, st.class, a, st.s.eng.Now(), cb
 	if err := st.s.nodes[st.node].admit(r); err != nil {
+		st.s.putReq(r)
 		return err
 	}
 	st.Submitted++
@@ -67,16 +69,16 @@ func (st *Stream) Write(a core.PageAddr, data []byte, cb func(err error)) error 
 	if st.closed {
 		return ErrClosed
 	}
-	r := &request{
-		class:     st.class,
-		statClass: st.class,
-		addr:      a,
-		write:     true,
-		data:      append([]byte(nil), data...),
-		enq:       st.s.eng.Now(),
-		wcb:       cb,
-	}
+	r := st.s.getReq()
+	r.class = st.class
+	r.statClass = st.class
+	r.addr = a
+	r.write = true
+	r.data = append(r.data[:0], data...)
+	r.enq = st.s.eng.Now()
+	r.wcb = cb
 	if err := st.s.nodes[st.node].admit(r); err != nil {
+		st.s.putReq(r)
 		return err
 	}
 	st.Submitted++
@@ -91,8 +93,10 @@ func (st *Stream) Erase(a core.PageAddr, cb func(err error)) error {
 	if st.closed {
 		return ErrClosed
 	}
-	r := &request{class: st.class, statClass: st.class, addr: a, erase: true, enq: st.s.eng.Now(), wcb: cb}
+	r := st.s.getReq()
+	r.class, r.statClass, r.addr, r.erase, r.enq, r.wcb = st.class, st.class, a, true, st.s.eng.Now(), cb
 	if err := st.s.nodes[st.node].admit(r); err != nil {
+		st.s.putReq(r)
 		return err
 	}
 	st.Submitted++

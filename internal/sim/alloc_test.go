@@ -1,0 +1,100 @@
+package sim
+
+import "testing"
+
+// These tests pin the allocation budget of the simulation hot path at
+// zero: once the event pool, wheel lanes and waiter rings have grown
+// to a workload's high-water mark, scheduling, firing, transferring
+// and credit-waiting must not touch the heap again. A regression here
+// is a GC-pressure regression for every experiment in the repo.
+
+func TestEngineScheduleAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+
+	// Warm the pool, the cur/far heaps, and every wheel lane the loop
+	// below will touch.
+	for i := 0; i < 256; i++ {
+		e.After(Time(i)*Microsecond, fn)
+	}
+	e.After(Time(wheelSlots<<tickBits)*4, fn) // far heap
+	e.Run()
+
+	if n := testing.AllocsPerRun(1000, func() {
+		e.After(0, fn)                            // current tick
+		e.After(3*Microsecond, fn)                // wheel lane
+		e.After(Time(wheelSlots<<tickBits)*4, fn) // far heap
+		e.Run()
+	}); n != 0 {
+		t.Fatalf("schedule/fire allocates %.1f objects per cycle, want 0", n)
+	}
+}
+
+func TestEngineCancelAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 16; i++ {
+		e.After(Time(i)*Microsecond, fn)
+	}
+	e.Run()
+
+	if n := testing.AllocsPerRun(1000, func() {
+		ev := e.After(5*Microsecond, fn)
+		e.Cancel(ev)
+		e.After(Microsecond, fn) // live traffic so Run advances
+		e.Run()
+	}); n != 0 {
+		t.Fatalf("cancel cycle allocates %.1f objects, want 0", n)
+	}
+}
+
+func TestPipeTransferAllocFree(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e, "link", 1<<30, 2*Microsecond)
+	fn := func() {}
+	p.Transfer(4096, fn)
+	e.Run()
+
+	if n := testing.AllocsPerRun(1000, func() {
+		p.Transfer(4096, fn)
+		e.Run()
+	}); n != 0 {
+		t.Fatalf("Pipe.Transfer allocates %.1f objects per transfer, want 0", n)
+	}
+}
+
+func TestTokenPoolAcquireAllocFree(t *testing.T) {
+	tp := NewTokenPool("credits", 4)
+	fn := func() {}
+
+	// Warm the waiter ring past the depth the steady-state loop uses.
+	for i := 0; i < 8; i++ {
+		tp.Acquire(1, fn)
+	}
+	tp.Release(4) // drain the queued waiters
+
+	if n := testing.AllocsPerRun(1000, func() {
+		tp.Acquire(4, fn) // grant
+		tp.Acquire(2, fn) // queue
+		tp.Acquire(2, fn) // queue
+		tp.Release(4)     // serve both
+		tp.Release(4)
+	}); n != 0 {
+		t.Fatalf("TokenPool cycle allocates %.1f objects, want 0", n)
+	}
+}
+
+func TestTimerRearmAllocFree(t *testing.T) {
+	e := NewEngine()
+	tm := e.NewTimer(func() {})
+	tm.Arm(Microsecond)
+	e.Run()
+
+	if n := testing.AllocsPerRun(1000, func() {
+		tm.Arm(Microsecond)
+		tm.Arm(2 * Microsecond) // rearm replaces
+		e.Run()
+	}); n != 0 {
+		t.Fatalf("Timer rearm allocates %.1f objects, want 0", n)
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineAfterStep measures the raw schedule+fire cycle: one
+// pooled event through a wheel lane per iteration.
+func BenchmarkEngineAfterStep(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(3*Microsecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineMixedHorizon stresses the full geometry: same-tick,
+// wheel-lane and far-heap events interleaved, as a real stack
+// produces them.
+func BenchmarkEngineMixedHorizon(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	far := Time(wheelSlots<<tickBits) * 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(0, fn)
+		e.After(Time(i%200)*Microsecond, fn)
+		e.After(far, fn)
+		e.Run()
+	}
+}
+
+// BenchmarkPipeTransfer measures a serialized transfer with delivery
+// callback through the pooled engine.
+func BenchmarkPipeTransfer(b *testing.B) {
+	e := NewEngine()
+	p := NewPipe(e, "link", 1<<30, 2*Microsecond)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transfer(4096, fn)
+		e.Run()
+	}
+}
+
+// BenchmarkTokenPoolBlocked measures the acquire→block→release→serve
+// cycle on the waiter ring.
+func BenchmarkTokenPoolBlocked(b *testing.B) {
+	tp := NewTokenPool("credits", 4)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.Acquire(4, fn)
+		tp.Acquire(2, fn)
+		tp.Release(4)
+		tp.Release(2)
+	}
+}

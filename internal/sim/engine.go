@@ -5,11 +5,19 @@
 // All simulated time is virtual. Components schedule callbacks on an
 // Engine; the Engine executes them in (time, insertion) order, so a run
 // with the same inputs and seeds is exactly reproducible.
+//
+// The engine is allocation-free on its steady-state path: events live
+// in a pooled arena and are addressed by generation-counted handles
+// (a stale Cancel after slot reuse is a safe no-op), and the pending
+// set is a hierarchical timer structure — near-future events in a
+// bucketed wheel, far timers in a min-heap that cascades into the
+// wheel as time advances. Firing order is exactly (time, insertion
+// sequence), identical to a single global priority queue.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -42,81 +50,438 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Timer-wheel geometry. Each bucket spans one tick of 2^tickBits ns
+// (4.096 us); the wheel's 256 buckets cover ~1 ms of near future —
+// flash reads, programs, network hops and DMA all land here. Events
+// beyond the horizon (3 ms erases, long think timers) wait in a far
+// min-heap and cascade into the wheel as the clock approaches them.
+const (
+	tickBits   = 12
+	wheelSlots = 256
+	wheelMask  = wheelSlots - 1
+	wheelWords = wheelSlots / 64
+)
+
+// Event is a generation-counted handle to a scheduled callback,
+// returned by At/After and accepted by Cancel. The zero Event is
+// inert: cancelling it does nothing. Handles stay safe after the
+// event fires — the pooled slot's generation moves on, so a stale
+// Cancel can never hit an unrelated recycled event.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	heap int // index in the event heap; -1 once fired or cancelled
+	idx int32
+	gen uint32
 }
 
-// At reports the virtual time the event is scheduled for.
-func (ev *Event) At() Time { return ev.at }
+// slot states.
+const (
+	slotFree uint8 = iota
+	slotQueued
+	slotCancelled // still threaded in a queue; reaped when reached
+)
+
+// eventSlot is pooled per-event storage. Slots are reused; gen
+// increments on every release so stale handles miss.
+type eventSlot struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	next  int32 // bucket chain when queued; free-list link when free
+	gen   uint32
+	state uint8
+}
+
+// entry is a by-value heap element: ordering key plus the slot index.
+type entry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
+
+func entryLess(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// bucket is one wheel lane: an append-ordered chain of slots.
+type bucket struct {
+	head, tail int32
+}
+
+// EngineStats is a snapshot of the engine's internal counters: how
+// the timer structures absorbed the load, and how big the event pool
+// grew. WheelEvents+FarEvents+CurEvents ~= total events scheduled
+// (cancelled ones included).
+type EngineStats struct {
+	// Fired is the number of events executed.
+	Fired uint64 `json:"fired"`
+	// Pending is the number of live events waiting to fire.
+	Pending int `json:"pending"`
+	// Cancelled counts Cancel calls that hit a live event.
+	Cancelled uint64 `json:"cancelled"`
+	// WheelEvents counts events scheduled into a wheel bucket (the
+	// near-future fast path).
+	WheelEvents uint64 `json:"wheel_events"`
+	// CurEvents counts events scheduled directly into the current-tick
+	// drain heap (zero-delay kicks and same-tick rearms).
+	CurEvents uint64 `json:"cur_events"`
+	// FarEvents counts events scheduled beyond the wheel horizon into
+	// the far heap.
+	FarEvents uint64 `json:"far_events"`
+	// FarCascades counts far-heap events re-bucketed into the wheel as
+	// the clock advanced.
+	FarCascades uint64 `json:"far_cascades"`
+	// PoolSlots is the allocated capacity of the event pool (its
+	// high-water mark of concurrently pending events, roughly).
+	PoolSlots int `json:"pool_slots"`
+}
 
 // Engine is a discrete-event scheduler. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now Time
+	seq uint64
+
+	// Event pool. Slot 0 is reserved so the zero Event handle is
+	// always invalid.
+	slots []eventSlot
+	free  int32 // free-list head, -1 when empty
+
+	// cur holds events with tick < base: the tick being drained plus
+	// same-instant arrivals. Its minimum is the global minimum.
+	cur []entry
+
+	// Near wheel: buckets[t&wheelMask] chains events whose tick t is
+	// in [base, base+wheelSlots). occupied mirrors non-empty buckets.
+	buckets  [wheelSlots]bucket
+	occupied [wheelWords]uint64
+	wheelCnt int
+
+	// Far heap: events with tick ≥ horizon at scheduling time.
+	far []entry
+
+	pending int // live (non-cancelled) scheduled events
+	base    int64
+	stats   EngineStats
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{free: -1}
+	for i := range e.buckets {
+		e.buckets[i] = bucket{head: -1, tail: -1}
+	}
+	// Reserve slot 0 with a non-zero generation: the zero Event handle
+	// (idx 0, gen 0) must never match a live slot.
+	e.slots = append(e.slots, eventSlot{gen: 1, state: slotFree, next: -1})
+	return e
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Fired returns the number of events executed so far.
-func (e *Engine) Fired() uint64 { return e.fired }
+func (e *Engine) Fired() uint64 { return e.stats.Fired }
 
-// Pending returns the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of live events waiting to fire.
+func (e *Engine) Pending() int { return e.pending }
+
+// Stats returns a snapshot of the engine's internal counters.
+func (e *Engine) Stats() EngineStats {
+	st := e.stats
+	st.Pending = e.pending
+	st.PoolSlots = len(e.slots)
+	return st
+}
+
+// alloc takes a slot from the free list (or grows the pool) and
+// stamps it with the event's key.
+func (e *Engine) alloc(at Time, fn func()) int32 {
+	var idx int32
+	if e.free >= 0 {
+		idx = e.free
+		e.free = e.slots[idx].next
+	} else {
+		idx = int32(len(e.slots))
+		e.slots = append(e.slots, eventSlot{})
+	}
+	s := &e.slots[idx]
+	s.at = at
+	s.seq = e.seq
+	s.fn = fn
+	s.next = -1
+	s.state = slotQueued
+	e.seq++
+	return idx
+}
+
+// release recycles a slot. The generation bump invalidates every
+// outstanding handle to it.
+func (e *Engine) release(idx int32) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.gen++
+	s.state = slotFree
+	s.next = e.free
+	e.free = idx
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: it always indicates a modelling bug.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	idx := e.alloc(t, fn)
+	e.pending++
+	tick := int64(t) >> tickBits
+	switch {
+	case tick < e.base:
+		// Inside the tick being drained (or base already advanced past
+		// it): goes straight to the cur heap. Correct by construction —
+		// everything in cur is earlier than every bucketed/far event.
+		e.curPush(entry{at: t, seq: e.slots[idx].seq, idx: idx})
+		e.stats.CurEvents++
+	case tick-e.base < wheelSlots:
+		e.bucketPush(tick, idx)
+		e.stats.WheelEvents++
+	default:
+		e.farPush(entry{at: t, seq: e.slots[idx].seq, idx: idx})
+		e.stats.FarEvents++
+	}
+	return Event{idx: idx, gen: e.slots[idx].gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired
-// or was already cancelled is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.heap < 0 {
+// Cancel removes a pending event. Cancelling an already-fired,
+// already-cancelled, stale (recycled slot) or zero-value handle is a
+// safe no-op: the handle's generation no longer matches, so it cannot
+// touch whatever event now occupies the slot. The slot itself is
+// reaped when the firing loop reaches it.
+func (e *Engine) Cancel(ev Event) {
+	if ev.idx <= 0 || int(ev.idx) >= len(e.slots) {
 		return
 	}
-	heap.Remove(&e.events, ev.heap)
-	ev.heap = -1
-	ev.fn = nil
+	s := &e.slots[ev.idx]
+	if s.gen != ev.gen || s.state != slotQueued {
+		return
+	}
+	s.state = slotCancelled
+	s.fn = nil
+	e.pending--
+	e.stats.Cancelled++
+}
+
+// --- cur heap (current-tick drain) ----------------------------------
+
+func (e *Engine) curPush(x entry) {
+	e.cur = append(e.cur, x)
+	i := len(e.cur) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryLess(e.cur[i], e.cur[p]) {
+			break
+		}
+		e.cur[i], e.cur[p] = e.cur[p], e.cur[i]
+		i = p
+	}
+}
+
+func (e *Engine) curPop() entry {
+	h := e.cur
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.cur = h[:n]
+	// sift down
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && entryLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && entryLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// --- far heap --------------------------------------------------------
+
+func (e *Engine) farPush(x entry) {
+	e.far = append(e.far, x)
+	i := len(e.far) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryLess(e.far[i], e.far[p]) {
+			break
+		}
+		e.far[i], e.far[p] = e.far[p], e.far[i]
+		i = p
+	}
+}
+
+func (e *Engine) farPop() entry {
+	h := e.far
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.far = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && entryLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && entryLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// --- wheel -----------------------------------------------------------
+
+func (e *Engine) bucketPush(tick int64, idx int32) {
+	slot := int(tick) & wheelMask
+	b := &e.buckets[slot]
+	if b.head < 0 {
+		b.head = idx
+		e.occupied[slot>>6] |= 1 << uint(slot&63)
+	} else {
+		e.slots[b.tail].next = idx
+	}
+	b.tail = idx
+	e.wheelCnt++
+}
+
+// nextBucketDist returns the circular distance from base to the first
+// occupied bucket, or -1 if the wheel is empty.
+func (e *Engine) nextBucketDist() int {
+	start := int(e.base) & wheelMask
+	sw, sb := start>>6, uint(start&63)
+	if w := e.occupied[sw] >> sb; w != 0 {
+		return bits.TrailingZeros64(w)
+	}
+	d := 64 - int(sb)
+	for i := 1; i < wheelWords; i++ {
+		if w := e.occupied[(sw+i)&(wheelWords-1)]; w != 0 {
+			return d + bits.TrailingZeros64(w)
+		}
+		d += 64
+	}
+	if w := e.occupied[sw] & (1<<sb - 1); w != 0 {
+		return d + bits.TrailingZeros64(w)
+	}
+	return -1
+}
+
+// drainBucket moves every event of the bucket at tick into the cur
+// heap (reaping cancelled slots) and clears the bucket.
+func (e *Engine) drainBucket(tick int64) {
+	slot := int(tick) & wheelMask
+	b := &e.buckets[slot]
+	idx := b.head
+	for idx >= 0 {
+		s := &e.slots[idx]
+		next := s.next
+		e.wheelCnt--
+		if s.state == slotCancelled {
+			e.release(idx)
+		} else {
+			e.curPush(entry{at: s.at, seq: s.seq, idx: idx})
+		}
+		idx = next
+	}
+	b.head, b.tail = -1, -1
+	e.occupied[slot>>6] &^= 1 << uint(slot&63)
+}
+
+// cascade moves far-heap events whose tick is now inside the wheel
+// horizon into their buckets.
+func (e *Engine) cascade() {
+	horizon := e.base + wheelSlots
+	for len(e.far) > 0 && int64(e.far[0].at)>>tickBits < horizon {
+		x := e.farPop()
+		if e.slots[x.idx].state == slotCancelled {
+			e.release(x.idx)
+			continue
+		}
+		e.bucketPush(int64(x.at)>>tickBits, x.idx)
+		e.stats.FarCascades++
+	}
+}
+
+// ensureNext makes the earliest live event the cur-heap minimum and
+// reports whether one exists. It advances base (draining buckets and
+// cascading far timers) but never moves the clock or fires anything.
+func (e *Engine) ensureNext() bool {
+	for {
+		// Reap cancelled events off the cur top.
+		for len(e.cur) > 0 {
+			if e.slots[e.cur[0].idx].state != slotCancelled {
+				return true
+			}
+			e.release(e.curPop().idx)
+		}
+		if e.wheelCnt == 0 {
+			if len(e.far) == 0 {
+				return false
+			}
+			// Jump the wheel to the far minimum and refill.
+			e.base = int64(e.far[0].at) >> tickBits
+			e.cascade()
+			continue
+		}
+		d := e.nextBucketDist()
+		tick := e.base + int64(d)
+		// A far timer may have come inside the horizon as base moved;
+		// anything earlier than the found bucket must cascade first.
+		if len(e.far) > 0 && int64(e.far[0].at)>>tickBits <= tick {
+			e.cascade()
+			d = e.nextBucketDist()
+			tick = e.base + int64(d)
+		}
+		e.drainBucket(tick)
+		// Later arrivals for this tick must go straight to cur: the
+		// bucket has been drained.
+		e.base = tick + 1
+	}
 }
 
 // Step fires the next event, if any, and reports whether one fired.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if !e.ensureNext() {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
-	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
-	e.fired++
+	x := e.curPop()
+	s := &e.slots[x.idx]
+	e.now = x.at
+	fn := s.fn
+	e.release(x.idx)
+	e.pending--
+	e.stats.Fired++
 	fn()
 	return true
 }
@@ -130,7 +495,7 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps <= t, then advances the clock to
 // t (even if no event lands exactly there).
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for e.ensureNext() && e.cur[0].at <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -150,36 +515,40 @@ func (e *Engine) RunWhile(cond func() bool) bool {
 	return false
 }
 
-// eventHeap is a min-heap ordered by (time, sequence number).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Timer is a reusable one-shot timer: one callback allocated at
+// construction, rearmed as often as the caller likes. Hot paths that
+// used to schedule a fresh closure per occurrence (dispatch kicks,
+// retry backoffs, housekeeping ticks) construct one Timer and rearm
+// it instead — zero allocations per arm.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	ev  Event
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heap = i
-	h[j].heap = j
+// NewTimer returns an unarmed timer that runs fn when it fires.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	return &Timer{eng: e, fn: fn}
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.heap = len(*h)
-	*h = append(*h, ev)
+// Arm schedules the timer d after now, replacing any pending arming
+// (the previous schedule is cancelled). Rearming from inside fn is
+// the usual self-pacing idiom.
+func (t *Timer) Arm(d Time) {
+	t.eng.Cancel(t.ev)
+	t.ev = t.eng.After(d, t.fn)
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.heap = -1
-	*h = old[:n-1]
-	return ev
+// ArmAt schedules the timer at absolute time at, replacing any
+// pending arming.
+func (t *Timer) ArmAt(at Time) {
+	t.eng.Cancel(t.ev)
+	t.ev = t.eng.At(at, t.fn)
+}
+
+// Stop cancels a pending arming; a stopped or fired timer may be
+// armed again.
+func (t *Timer) Stop() {
+	t.eng.Cancel(t.ev)
+	t.ev = Event{}
 }

@@ -7,10 +7,16 @@ import "fmt"
 // the token once it drains the unit. Waiters are served FIFO, which is
 // what gives BlueDBM's links their per-link ordering property.
 type TokenPool struct {
-	name    string
-	avail   int
-	cap     int
-	waiters []waiter // FIFO
+	name  string
+	avail int
+	cap   int
+
+	// FIFO waiter ring: wn live entries starting at whead. The backing
+	// array is reused across block/unblock cycles so steady-state
+	// Acquire does not allocate.
+	waiters []waiter
+	whead   int
+	wn      int
 
 	// stats
 	acquired int64
@@ -37,7 +43,7 @@ func (t *TokenPool) Available() int { return t.avail }
 func (t *TokenPool) Cap() int { return t.cap }
 
 // Waiting returns the number of queued acquirers.
-func (t *TokenPool) Waiting() int { return len(t.waiters) }
+func (t *TokenPool) Waiting() int { return t.wn }
 
 // Blocked returns how many Acquire calls had to wait.
 func (t *TokenPool) Blocked() int64 { return t.blocked }
@@ -53,20 +59,43 @@ func (t *TokenPool) Acquire(n int, fn func()) {
 	if n > t.cap {
 		panic(fmt.Sprintf("sim: token pool %q: acquire %d exceeds capacity %d", t.name, n, t.cap))
 	}
-	if len(t.waiters) == 0 && t.avail >= n {
+	if t.wn == 0 && t.avail >= n {
 		t.avail -= n
 		t.acquired++
 		fn()
 		return
 	}
 	t.blocked++
-	t.waiters = append(t.waiters, waiter{n: n, fn: fn})
+	t.pushWaiter(waiter{n: n, fn: fn})
+}
+
+// pushWaiter appends to the ring, growing the backing array only when
+// full (unwrapping the live entries into the new array).
+func (t *TokenPool) pushWaiter(w waiter) {
+	if t.wn == len(t.waiters) {
+		grown := make([]waiter, max(4, 2*len(t.waiters)))
+		for i := 0; i < t.wn; i++ {
+			grown[i] = t.waiters[(t.whead+i)%len(t.waiters)]
+		}
+		t.waiters = grown
+		t.whead = 0
+	}
+	t.waiters[(t.whead+t.wn)%len(t.waiters)] = w
+	t.wn++
+}
+
+func (t *TokenPool) popWaiter() waiter {
+	w := t.waiters[t.whead]
+	t.waiters[t.whead] = waiter{} // drop the fn reference
+	t.whead = (t.whead + 1) % len(t.waiters)
+	t.wn--
+	return w
 }
 
 // TryAcquire takes n tokens if immediately available (and no waiter is
 // queued ahead) and reports whether it succeeded.
 func (t *TokenPool) TryAcquire(n int) bool {
-	if len(t.waiters) == 0 && t.avail >= n {
+	if t.wn == 0 && t.avail >= n {
 		t.avail -= n
 		t.acquired++
 		return true
@@ -83,9 +112,8 @@ func (t *TokenPool) Release(n int) {
 	if t.avail > t.cap {
 		panic(fmt.Sprintf("sim: token pool %q: released above capacity (%d > %d)", t.name, t.avail, t.cap))
 	}
-	for len(t.waiters) > 0 && t.avail >= t.waiters[0].n {
-		w := t.waiters[0]
-		t.waiters = t.waiters[1:]
+	for t.wn > 0 && t.avail >= t.waiters[t.whead].n {
+		w := t.popWaiter()
 		t.avail -= w.n
 		t.acquired++
 		w.fn()
