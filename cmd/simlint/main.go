@@ -1,0 +1,52 @@
+// Command simlint statically enforces the simulator's determinism and
+// alloc-free invariants over this repository: order-dependent map
+// iteration (maprange), wall-clock time and global math/rand
+// (walltime), concurrency in the single-threaded core (noconcurrency),
+// allocation sources in //simlint:hotpath functions (hotpath), and
+// discarded errors (errdrop). See internal/lint for the analyzers and
+// the //simlint:allow suppression grammar.
+//
+// Usage, from the module root:
+//
+//	go run ./cmd/simlint ./...
+//
+// Findings print one per line as file:line:col: check: message, and a
+// non-empty finding set exits 1 — CI treats every finding class as a
+// build break. The tool is self-contained on the standard library (no
+// golang.org/x/tools vettool protocol): it loads, parses and
+// type-checks the packages itself via the go toolchain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("C", ".", "module root directory to lint from")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-C dir] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Lint(*root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

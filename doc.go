@@ -58,6 +58,10 @@
 //	internal/report       observability
 //	internal/fpga         FPGA resource models (Tables 1-2)
 //	internal/power        node power model (Table 3)
+//	internal/lint         simlint: static analyzers enforcing the
+//	                      determinism and alloc-free invariants
+//	                      (maprange, walltime, noconcurrency, hotpath,
+//	                      errdrop); cmd/simlint is the CI driver
 //
 // Start with examples/quickstart, then see DESIGN.md for the system
 // inventory and EXPERIMENTS.md for measured-vs-paper results. The

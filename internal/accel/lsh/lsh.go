@@ -137,6 +137,7 @@ func (ix *Index) Candidates(query []byte) ([]int, error) {
 // the accelerated paths are validated against.
 func NearestBrute(query []byte, items map[int][]byte) (bestID, bestDist int) {
 	bestID, bestDist = -1, int(^uint(0)>>1)
+	//simlint:allow maprange (lowest-distance-then-lowest-id selection reaches the same winner in any iteration order)
 	for id, item := range items {
 		if d := HammingDistance(query, item); d < bestDist || (d == bestDist && id < bestID) {
 			bestID, bestDist = id, d

@@ -1,15 +1,9 @@
 package experiments
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // Golden values captured from the pre-refactor engine (global
@@ -26,50 +20,13 @@ const (
 	goldenEngineDigest = "3163921aec0dedd746aa50dbd68784b80dd0f16d39efe635f0881f8df1bf378b"
 )
 
-// goldenScenario runs the seeded 4-node full-stack scenario: the
-// engine-bench workload mix (multi-class, cluster-addressed reads and
-// writes through scheduler, fabric, host interface and NAND) at a
-// fixed size.
-func goldenScenario(t *testing.T) (fired uint64, now sim.Time, digest string) {
-	t.Helper()
-	const nodes = 4
-	cfg := DefaultEngineBench(false)
-	cfg.Requests = 48
-
-	c, err := core.NewCluster(scaledParams(nodes))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for n := 0; n < nodes; n++ {
-		if err := c.SeedLinear(n, cfg.Pages, workload.RandomPages(cfg.Seed)); err != nil {
-			t.Fatal(err)
-		}
-	}
-	s, err := sched.New(c, cfg.Sched)
-	if err != nil {
-		t.Fatal(err)
-	}
-	loop, err := workload.RunClosedLoop(s, c, engineSpecs(cfg, nodes), cfg.Pages, cfg.Depth, cfg.Requests, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	blob, err := json.Marshal(struct {
-		Loop  workload.LoopResult `json:"loop"`
-		Sched sched.Snapshot      `json:"sched"`
-	}{loop, s.Snapshot()})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sum := sha256.Sum256(blob)
-	return c.Eng.Fired(), c.Eng.Now(), hex.EncodeToString(sum[:])
-}
-
 // TestEngineGoldenDeterminism pins the substrate's exact event
-// ordering across refactors (and across runs: the scenario is fully
-// seeded, so two executions in the same binary must already agree).
+// ordering across refactors.
 func TestEngineGoldenDeterminism(t *testing.T) {
-	fired, now, digest := goldenScenario(t)
+	fired, now, digest, err := EngineGoldenDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fired != goldenEngineFired {
 		t.Errorf("events fired = %d, want %d (event population changed)", fired, goldenEngineFired)
 	}
@@ -78,5 +35,28 @@ func TestEngineGoldenDeterminism(t *testing.T) {
 	}
 	if digest != goldenEngineDigest {
 		t.Errorf("stats digest = %s, want %s (latency/throughput stats drifted)", digest, goldenEngineDigest)
+	}
+}
+
+// TestEngineGoldenRepeatRun runs the golden scenario twice in one
+// process and requires byte-identical digests. A single run compared
+// against a captured constant cannot distinguish "deterministic" from
+// "accidentally matched once"; two runs in the same process will
+// diverge under exactly the failure modes simlint's maprange check
+// exists to prevent (map iteration order is re-randomized per map, so
+// an order-dependent loop gives different interleavings run to run)
+// and under any global mutable state leaking between simulations.
+func TestEngineGoldenRepeatRun(t *testing.T) {
+	fired1, now1, digest1, err := EngineGoldenDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired2, now2, digest2, err := EngineGoldenDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired1 != fired2 || now1 != now2 || digest1 != digest2 {
+		t.Errorf("repeat run diverged:\n run1: fired=%d now=%d digest=%s\n run2: fired=%d now=%d digest=%s",
+			fired1, int64(now1), digest1, fired2, int64(now2), digest2)
 	}
 }

@@ -23,10 +23,12 @@ import (
 	"repro/internal/sim"
 )
 
-// Host interface errors.
-var (
-	ErrBadBuffer = errors.New("hostif: buffer index out of range or not busy")
-)
+// ErrBadBuffer is the panic value (wrapped) raised when a device-side
+// producer names a read-buffer index that was never granted. A bad
+// index is a modeling bug in the caller, never a runtime condition, so
+// the host interface fails loudly instead of returning an error that
+// no production caller has a way to recover from.
+var ErrBadBuffer = errors.New("hostif: buffer index out of range or not busy")
 
 // Config sizes the host interface.
 type Config struct {
@@ -172,10 +174,11 @@ func (h *HostIf) AcquireReadBuffer(expectBytes int, onDone func(buf int), fn fun
 // network interface, in-store processor) as interleaved data lands in
 // read buffer buf. The per-buffer FIFO gates DMA bursts: only when
 // DMABurst contiguous bytes are queued (or the page is complete) does
-// the DMA engine issue a burst over PCIe.
-func (h *HostIf) DeviceWriteChunk(buf, n int, last bool) error {
+// the DMA engine issue a burst over PCIe. Panics on a buffer index
+// that AcquireReadBuffer never granted: that is a caller bug.
+func (h *HostIf) DeviceWriteChunk(buf, n int, last bool) {
 	if buf < 0 || buf >= len(h.readBufs) {
-		return fmt.Errorf("%w: %d", ErrBadBuffer, buf)
+		panic(fmt.Errorf("%w: %d", ErrBadBuffer, buf))
 	}
 	st := &h.readBufs[buf]
 	st.fifo += n
@@ -183,7 +186,6 @@ func (h *HostIf) DeviceWriteChunk(buf, n int, last bool) error {
 		st.lastSeen = true
 	}
 	h.pump(buf)
-	return nil
 }
 
 // pump drains a read buffer's FIFO into PCIe bursts.
@@ -219,15 +221,15 @@ func (h *HostIf) maybeComplete(buf int) {
 	h.eng.After(h.cfg.InterruptLatency, done)
 }
 
-// ReleaseReadBuffer returns a buffer to the free queue.
-func (h *HostIf) ReleaseReadBuffer(buf int) error {
+// ReleaseReadBuffer returns a buffer to the free queue. Panics on a
+// buffer index that AcquireReadBuffer never granted.
+func (h *HostIf) ReleaseReadBuffer(buf int) {
 	if buf < 0 || buf >= len(h.readBufs) {
-		return fmt.Errorf("%w: %d", ErrBadBuffer, buf)
+		panic(fmt.Errorf("%w: %d", ErrBadBuffer, buf))
 	}
 	h.readBufs[buf] = bufState{}
 	h.readFreeIdx = append(h.readFreeIdx, buf)
 	h.readFree.Release(1)
-	return nil
 }
 
 // --- host -> device (write) path ------------------------------------

@@ -1,6 +1,7 @@
 package hostif
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/sim"
@@ -23,15 +24,11 @@ func TestSinglePageReadPath(t *testing.T) {
 	h.AcquireReadBuffer(8192, func(buf int) {
 		doneAt = eng.Now()
 		gotBuf = buf
-		if err := h.ReleaseReadBuffer(buf); err != nil {
-			t.Error(err)
-		}
+		h.ReleaseReadBuffer(buf)
 	}, func(buf int) {
 		// Device fills the buffer in 4 interleaved 2KB chunks.
 		for i := 0; i < 4; i++ {
-			if err := h.DeviceWriteChunk(buf, 2048, i == 3); err != nil {
-				t.Fatal(err)
-			}
+			h.DeviceWriteChunk(buf, 2048, i == 3)
 		}
 	})
 	eng.Run()
@@ -56,9 +53,7 @@ func TestDMABurstGating(t *testing.T) {
 	// enough accumulate.
 	eng, h := newIf(t)
 	h.AcquireReadBuffer(1024, nil, func(buf int) {
-		if err := h.DeviceWriteChunk(buf, 100, false); err != nil {
-			t.Fatal(err)
-		}
+		h.DeviceWriteChunk(buf, 100, false)
 	})
 	eng.Run()
 	if h.ToHostBytes() != 0 {
@@ -124,9 +119,7 @@ func TestBufferPoolExhaustion(t *testing.T) {
 	if queued {
 		t.Fatal("129th acquire should wait")
 	}
-	if err := h.ReleaseReadBuffer(5); err != nil {
-		t.Fatal(err)
-	}
+	h.ReleaseReadBuffer(5)
 	eng.Run()
 	if !queued {
 		t.Fatal("released buffer not granted to waiter")
@@ -207,15 +200,22 @@ func TestRPCAndSoftwareLatencies(t *testing.T) {
 
 func TestBadBufferIndex(t *testing.T) {
 	_, h := newIf(t)
-	if err := h.DeviceWriteChunk(-1, 10, false); err == nil {
-		t.Fatal("negative buffer accepted")
+	mustPanicBadBuffer := func(name string, fn func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: bad buffer index accepted", name)
+			}
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, ErrBadBuffer) {
+				t.Fatalf("%s: panic %v, want ErrBadBuffer", name, r)
+			}
+		}()
+		fn()
 	}
-	if err := h.DeviceWriteChunk(999, 10, false); err == nil {
-		t.Fatal("out-of-range buffer accepted")
-	}
-	if err := h.ReleaseReadBuffer(999); err == nil {
-		t.Fatal("out-of-range release accepted")
-	}
+	mustPanicBadBuffer("DeviceWriteChunk(-1)", func() { h.DeviceWriteChunk(-1, 10, false) })
+	mustPanicBadBuffer("DeviceWriteChunk(999)", func() { h.DeviceWriteChunk(999, 10, false) })
+	mustPanicBadBuffer("ReleaseReadBuffer(999)", func() { h.ReleaseReadBuffer(999) })
 }
 
 func TestConfigValidation(t *testing.T) {

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errdrop flags calls whose error result is silently discarded in
+// internal/ code — the call stands alone as a statement (or a defer)
+// and at least one of its results is an error. Swallowed errors are
+// how the graph walker lost read failures for three PRs: the run
+// "succeeded" with checksums computed over missing data.
+//
+// An explicit `_ = f()` assignment is visible intent and is not
+// flagged. Methods of bytes.Buffer and strings.Builder are exempt, as
+// are fmt.Fprint* calls writing into one of them: those error results
+// are documented to always be nil (in-memory writers cannot fail).
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "discarded error result in internal/ code",
+	Run:  runErrdrop,
+}
+
+// alwaysNilErr lists receiver types whose methods return errors only
+// to satisfy io interfaces.
+var alwaysNilErr = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+	"hash.Hash":       true,
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
+}
+
+func runErrdrop(p *Pass) {
+	if !inInternal(p.RelPath) && !inLint(p.RelPath) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := s.X.(*ast.CallExpr); ok {
+					call = c
+				}
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(p, call) || isExemptErrCall(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s returns an error that is discarded; handle it or assign to _ explicitly", exprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call is of type error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errType)
+}
+
+// isExemptErrCall allows methods on receivers whose error results are
+// documented always nil (bytes.Buffer, strings.Builder, hash.Hash),
+// and fmt.Fprint* calls whose writer is one of those types.
+func isExemptErrCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok {
+		// Package-level function: fmt.Fprint* into an in-memory writer
+		// cannot return a non-nil error.
+		obj := p.ObjectOf(sel.Sel)
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+			strings.HasPrefix(obj.Name(), "Fprint") && len(call.Args) > 0 {
+			return isAlwaysNilErrType(p.TypeOf(call.Args[0]))
+		}
+		return false
+	}
+	return isAlwaysNilErrType(selection.Recv())
+}
+
+// isAlwaysNilErrType reports whether t (after deref) is a named type
+// whose error-returning methods are documented to always return nil.
+func isAlwaysNilErrType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		return obj.Pkg() != nil && alwaysNilErr[obj.Pkg().Path()+"."+obj.Name()]
+	}
+	return false
+}

@@ -1,0 +1,275 @@
+// Package lint is simlint: a static-analysis suite that enforces the
+// two invariants every committed BENCH artifact rests on — bit-exact
+// determinism and allocation-free hot paths — at build time instead of
+// debugging time.
+//
+// The simulator's reproducibility argument is only as strong as its
+// weakest `for k := range someMap` or stray time.Now(): either one
+// silently breaks identical event order across runs, and the failure
+// shows up weeks later as a golden-digest mismatch nobody can bisect.
+// The analyzers here turn each such class into a build break:
+//
+//	maprange       order-dependent iteration over Go maps in the
+//	               deterministic core (map iteration order is
+//	               randomized per run)
+//	walltime       wall-clock time and global math/rand in simulation
+//	               packages (virtual time comes from sim.Engine,
+//	               randomness from sim.RNG)
+//	noconcurrency  go statements, channel operations and sync
+//	               primitives inside the single-threaded core, where
+//	               concurrency can only mean nondeterminism
+//	hotpath        AST-visible allocation sources inside functions
+//	               annotated //simlint:hotpath (the alloc-free
+//	               surfaces pinned by the sim AllocsPerRun tests)
+//	errdrop        discarded error results in internal/ (the bug
+//	               class PR 5 fixed by hand in the graph walker)
+//
+// A true finding is fixed; an intended exception is suppressed with an
+// audited comment on the offending line (or the line above):
+//
+//	//simlint:allow <check> (reason)
+//
+// The reason is mandatory, unknown check names are errors, and a
+// suppression that suppresses nothing is itself a finding — so the
+// committed suppression set stays an honest list of reviewed
+// exceptions, never a graveyard.
+//
+// The framework is deliberately self-contained on the standard
+// library's go/ast and go/types (the usual golang.org/x/tools
+// go/analysis machinery is not vendored here); cmd/simlint is the
+// driver, and Lint in this package is the embeddable entry point the
+// repo's own tests use to keep `go test ./...` as strict as CI.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects a type-checked package
+// via the Pass and reports findings through it.
+type Analyzer struct {
+	// Name identifies the check in output and in //simlint:allow
+	// directives.
+	Name string
+	// Doc is a one-line description of what the check enforces.
+	Doc string
+	// Run performs the check on one package.
+	Run func(p *Pass)
+}
+
+// Analyzers returns the full simlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Maprange, Walltime, Noconcurrency, Hotpath, Errdrop}
+}
+
+// A Diagnostic is one finding, located and attributed to its check.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// RelPath is the package's import path relative to the module root
+	// ("internal/rfs"), or the full import path for packages outside
+	// the module.
+	RelPath string
+
+	sink *runState
+}
+
+// Reportf records a finding at pos unless an applicable
+// //simlint:allow directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.sink.suppress(p.Analyzer.Name, position) {
+		return
+	}
+	p.sink.diags = append(p.sink.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object (may be nil).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// --- suppression directives -----------------------------------------
+
+// directive is one parsed //simlint:allow comment.
+type directive struct {
+	check  string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// directiveRe matches `simlint:allow <check> (reason)`. The reason is
+// mandatory: a suppression without a recorded why is just a disabled
+// check.
+var directiveRe = regexp.MustCompile(`^simlint:allow\s+([a-z]+)\s*(\((.*)\))?\s*$`)
+
+// runState is the shared per-run sink: diagnostics plus the directive
+// index used for suppression and the unused-suppression audit.
+type runState struct {
+	diags []Diagnostic
+	// directives indexed by file:line.
+	dirs   map[string]*directive
+	checks map[string]bool // known analyzer names
+}
+
+func newRunState(analyzers []*Analyzer) *runState {
+	rs := &runState{dirs: map[string]*directive{}, checks: map[string]bool{}}
+	for _, a := range analyzers {
+		rs.checks[a.Name] = true
+	}
+	return rs
+}
+
+func lineKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// collectDirectives indexes every //simlint:allow comment of a file,
+// reporting malformed ones as findings of the "simlint" pseudo-check.
+func (rs *runState) collectDirectives(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "simlint:allow") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			m := directiveRe.FindStringSubmatch(text)
+			if m == nil {
+				rs.diags = append(rs.diags, Diagnostic{Pos: pos, Check: "simlint",
+					Message: "malformed directive: want //simlint:allow <check> (reason)"})
+				continue
+			}
+			check, reason := m[1], strings.TrimSpace(m[3])
+			if !rs.checks[check] {
+				rs.diags = append(rs.diags, Diagnostic{Pos: pos, Check: "simlint",
+					Message: fmt.Sprintf("unknown check %q in //simlint:allow directive", check)})
+				continue
+			}
+			if m[2] == "" || reason == "" {
+				rs.diags = append(rs.diags, Diagnostic{Pos: pos, Check: "simlint",
+					Message: fmt.Sprintf("suppression of %q needs a reason: //simlint:allow %s (why)", check, check)})
+				continue
+			}
+			rs.dirs[lineKey(pos.Filename, pos.Line)] = &directive{
+				check: check, reason: reason, pos: pos,
+			}
+		}
+	}
+}
+
+// suppress reports whether a directive on the diagnostic's line, or on
+// the line directly above it, allows this check — marking it used.
+func (rs *runState) suppress(check string, pos token.Position) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if d, ok := rs.dirs[lineKey(pos.Filename, line)]; ok && d.check == check {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// finishUnused reports every directive that suppressed nothing: a
+// stale allow is a finding, so suppressions cannot outlive their
+// reason.
+func (rs *runState) finishUnused() {
+	for _, d := range rs.dirs {
+		if !d.used {
+			rs.diags = append(rs.diags, Diagnostic{Pos: d.pos, Check: "simlint",
+				Message: fmt.Sprintf("unused suppression: nothing on this or the next line triggers %q", d.check)})
+		}
+	}
+}
+
+// --- driver ----------------------------------------------------------
+
+// Run executes the analyzers over the loaded packages and returns all
+// findings, sorted by position. Suppression directives are honored
+// package by package; unused ones are reported at the end.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	rs := newRunState(analyzers)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			rs.collectDirectives(pkg.Fset, f)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				RelPath:  pkg.RelPath,
+				sink:     rs,
+			})
+		}
+	}
+	rs.finishUnused()
+	sort.Slice(rs.diags, func(i, j int) bool {
+		a, b := rs.diags[i], rs.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return rs.diags
+}
+
+// Lint loads the packages matching patterns under the module rooted at
+// root and runs the whole suite — the one-call form used by
+// cmd/simlint and the repo's own clean-tree test.
+func Lint(root string, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(root, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return Run(pkgs, Analyzers()), nil
+}

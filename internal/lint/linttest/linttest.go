@@ -1,0 +1,167 @@
+// Package linttest runs simlint analyzers over small fixture packages
+// and checks the reported diagnostics against expectations written in
+// the fixture source itself, in the style of x/tools' analysistest:
+//
+//	for k := range m { // want `order-dependent`
+//
+// A `// want` comment holds one or more quoted regular expressions
+// (double quotes or backticks); each must match a distinct diagnostic
+// reported on that line as "check: message". Every diagnostic must be
+// matched by a want and every want must match a diagnostic, so
+// fixtures pin both positives and the absence of false positives.
+//
+// Fixtures live under testdata/ (invisible to go list), import only
+// the standard library, and are type-checked as if they lived at a
+// caller-chosen module-relative path — which is what the analyzers'
+// scope fences key on.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// sharedFset and sharedImporter are reused across fixture loads so the
+// standard library is type-checked from source once per test binary.
+var (
+	sharedFset     = token.NewFileSet()
+	sharedImporter = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// Diags parses and type-checks the single fixture package in dir as if
+// it lived at relPath inside the module, runs the analyzers over it,
+// and returns the diagnostics (suppressions honored, unused ones
+// reported — exactly like a real run).
+func Diags(t *testing.T, dir, relPath string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	pkg := load(t, dir, relPath)
+	return lint.Run([]*lint.Package{pkg}, analyzers)
+}
+
+// Run executes the analyzers over the fixture in dir and fails the
+// test on any mismatch between diagnostics and // want expectations.
+func Run(t *testing.T, dir, relPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg := load(t, dir, relPath)
+	diags := lint.Run([]*lint.Package{pkg}, analyzers)
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		text := d.Check + ": " + d.Message
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// load parses and type-checks one fixture directory.
+func load(t *testing.T, dir, relPath string) *lint.Package {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(sharedFset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: sharedImporter}
+	tpkg, err := conf.Check("repro/"+relPath, sharedFset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &lint.Package{
+		ImportPath: "repro/" + relPath,
+		RelPath:    relPath,
+		Dir:        dir,
+		Fset:       sharedFset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+}
+
+// want is one expectation: a regexp anchored to a file and line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantArgRe extracts the quoted regexes of a want comment.
+var wantArgRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// collectWants parses every `// want ...` comment of the fixture.
+func collectWants(t *testing.T, pkg *lint.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRe.FindAllStringSubmatch(strings.TrimPrefix(text, "want "), -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern", pos)
+				}
+				for _, m := range args {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", pkg.Dir)
+	}
+	return wants
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Noconcurrency forbids every concurrency construct inside the
+// single-threaded deterministic core: go statements, channel types and
+// operations (send, receive, select, close, range-over-channel), and
+// the sync / sync/atomic packages. The simulation is one event loop in
+// virtual time; "concurrency" there cannot buy parallelism, only a
+// host-scheduler dependence that breaks replay. Code that genuinely
+// needs host threads belongs on the harness side of the scope fence
+// (internal/experiments, cmd/), not in the core.
+var Noconcurrency = &Analyzer{
+	Name: "noconcurrency",
+	Doc:  "concurrency construct inside the single-threaded deterministic core",
+	Run:  runNoconcurrency,
+}
+
+func runNoconcurrency(p *Pass) {
+	if !inDeterministicCore(p.RelPath) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "sync" || path == "sync/atomic" {
+				p.Reportf(imp.Pos(), "import of %q in the deterministic core; the simulation is single-threaded", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(x.Pos(), "go statement in the deterministic core; schedule an event on sim.Engine instead")
+			case *ast.SendStmt:
+				p.Reportf(x.Pos(), "channel send in the deterministic core")
+			case *ast.UnaryExpr:
+				if x.Op.String() == "<-" {
+					p.Reportf(x.Pos(), "channel receive in the deterministic core")
+				}
+			case *ast.SelectStmt:
+				p.Reportf(x.Pos(), "select statement in the deterministic core")
+			case *ast.ChanType:
+				p.Reportf(x.Pos(), "channel type in the deterministic core; use engine callbacks")
+			case *ast.RangeStmt:
+				if t := p.TypeOf(x.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						p.Reportf(x.For, "range over a channel in the deterministic core")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" && isBuiltin(p, id) {
+					p.Reportf(x.Pos(), "close of a channel in the deterministic core")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import "strings"
+
+// Package scope rules. Each analyzer guards the part of the tree whose
+// invariant it enforces; everything is keyed on the module-relative
+// import path so the rules survive a module rename.
+//
+//   - The deterministic core is every internal/ package that executes
+//     under the event engine. Concurrency, wall-clock time and map
+//     iteration order there are bugs by definition.
+//   - internal/experiments and cmd/ are the harness side: they measure
+//     host wall-clock around whole runs, so walltime exempts them (the
+//     numbers they compute from *inside* the simulation still go
+//     through sim.Engine).
+//   - internal/report formats human output and internal/lint is this
+//     tool; neither runs under the engine.
+
+// inInternal reports whether the package is repo-internal simulation
+// or stack code (any internal/ package except the lint tool itself).
+func inInternal(rel string) bool {
+	return strings.HasPrefix(rel, "internal/") && !inLint(rel)
+}
+
+func inLint(rel string) bool {
+	return rel == "internal/lint" || strings.HasPrefix(rel, "internal/lint/")
+}
+
+// harnessSide marks packages that legitimately touch the host clock:
+// the experiment harness (wall-time speed measurements) and the
+// command-line front ends.
+func harnessSide(rel string) bool {
+	return rel == "internal/experiments" ||
+		strings.HasPrefix(rel, "internal/experiments/") ||
+		rel == "cmd" || strings.HasPrefix(rel, "cmd/")
+}
+
+// inDeterministicCore reports whether the package is part of the
+// single-threaded simulation core, where every run must replay the
+// exact same event sequence.
+func inDeterministicCore(rel string) bool {
+	if !inInternal(rel) {
+		return false
+	}
+	switch {
+	case rel == "internal/experiments", strings.HasPrefix(rel, "internal/experiments/"):
+		return false // harness: drives runs, measures wall time
+	case rel == "internal/report", strings.HasPrefix(rel, "internal/report/"):
+		return false // human-facing output formatting
+	}
+	return true
+}

@@ -1,0 +1,17 @@
+// Fixture for the suppression-directive audit: malformed directives,
+// unknown checks, missing reasons and unused suppressions are all
+// findings of the "simlint" pseudo-check (asserted programmatically —
+// a want comment cannot share a line with a directive).
+package fixture
+
+//simlint:allow
+var a = 1
+
+//simlint:allow maprange
+var b = 2
+
+//simlint:allow nosuchcheck (reason given)
+var c = 3
+
+//simlint:allow maprange (nothing on the next line ranges a map)
+var d = 4

@@ -1,0 +1,45 @@
+// Fixture for the errdrop analyzer: statement-position calls that
+// discard an error result are findings; explicit `_ =`, checked calls,
+// and always-nil in-memory writers are not.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fails() error { return errors.New("x") }
+
+func pair() (int, error) { return 0, nil }
+
+func discards() {
+	fails()       // want `errdrop: fails returns an error that is discarded`
+	defer fails() // want `errdrop: fails returns an error that is discarded`
+	pair()        // want `errdrop: pair returns an error that is discarded`
+}
+
+func handled() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	_ = fails() // explicit discard is visible intent: no finding
+	n, err := pair()
+	_ = n
+	return err
+}
+
+// inMemoryWriters never return a non-nil error: all exempt.
+func inMemoryWriters() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}
+
+func noError() { println("no result at all") }
+
+func suppressed() {
+	//simlint:allow errdrop (fixture: best-effort call, failure is acceptable)
+	fails()
+}

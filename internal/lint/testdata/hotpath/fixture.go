@@ -1,0 +1,102 @@
+// Fixture for the hotpath analyzer: every AST-visible allocation
+// source inside a //simlint:hotpath function is pinned by a want;
+// recycled-buffer appends, panic paths, pointer boxing and unannotated
+// functions must stay unflagged.
+package fixture
+
+import "fmt"
+
+type pool struct {
+	slots []int
+	buf   []byte
+}
+
+//simlint:hotpath
+func compositePtr() *pool {
+	return &pool{} // want `hotpath: &composite literal allocates in hot path`
+}
+
+//simlint:hotpath
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `hotpath: slice literal allocates in hot path`
+}
+
+//simlint:hotpath
+func mapLit() map[int]int {
+	return map[int]int{} // want `hotpath: map literal allocates in hot path`
+}
+
+//simlint:hotpath
+func makeAndNew() {
+	_ = make([]int, 4) // want `hotpath: make allocates in hot path`
+	_ = new(int)       // want `hotpath: new allocates in hot path`
+}
+
+//simlint:hotpath
+func freshAppend(xs []int) []int {
+	xs = append(xs, 1) // want `hotpath: append may grow a fresh slice in hot path`
+	return xs
+}
+
+//simlint:hotpath
+func closure() func() {
+	return func() {} // want `hotpath: closure allocated in hot path`
+}
+
+//simlint:hotpath
+func format(n int) {
+	fmt.Println(n) // want `hotpath: fmt.Println allocates in hot path`
+}
+
+type iface interface{ M() }
+
+type valImpl struct{ x int }
+
+func (valImpl) M() {}
+
+func take(i iface) { _ = i }
+
+//simlint:hotpath
+func boxes(v valImpl, p *valImpl) {
+	take(v) // want `hotpath: converting repro/.* to interface .* allocates in hot path`
+	take(p) // pointers ride in the interface word: no finding
+}
+
+// recycled appends retain capacity across calls: all allowed.
+//
+//simlint:hotpath
+func (p *pool) recycled(data []byte) {
+	p.buf = append(p.buf, data...)
+	local := p.buf[:0]
+	local = append(local, data...)
+	p.buf = local
+}
+
+// resliceArg appends into the caller's retained capacity: allowed.
+//
+//simlint:hotpath
+func resliceArg(data []byte) []byte {
+	return append(data[:0], 1)
+}
+
+// dies allocates only on the way into panic: exempt.
+//
+//simlint:hotpath
+func dies(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n))
+	}
+}
+
+// coldPath has no annotation: never checked.
+func coldPath() *pool {
+	return &pool{slots: make([]int, 8)}
+}
+
+// suppressed keeps one audited allocation.
+//
+//simlint:hotpath
+func suppressed() []int {
+	//simlint:allow hotpath (fixture: demonstrates an audited amortized-growth suppression)
+	return make([]int, 8)
+}

@@ -1,0 +1,109 @@
+// Fixture for the maprange analyzer: each want comment pins a flagged
+// order-dependent iteration; every unmarked range exercises one of the
+// order-insensitivity exemptions and must stay unflagged.
+package fixture
+
+import "sort"
+
+// concat is order-dependent: string concatenation does not commute.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `maprange: iteration over map m has order-dependent effects`
+		s += k
+	}
+	return s
+}
+
+// floatSum is order-dependent: float rounding depends on summation
+// order, so += only commutes for integers.
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `maprange: iteration over map m has order-dependent effects`
+		total += v
+	}
+	return total
+}
+
+// firstError is order-dependent: which entry returns first varies.
+func firstError(m map[string]int) int {
+	for _, v := range m { // want `maprange: iteration over map m has order-dependent effects`
+		if v < 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// counted binds neither key nor value: exempt.
+func counted(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// intSum is commutative integer accumulation: exempt.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// bitOr is commutative: exempt.
+func bitOr(m map[string]uint64) uint64 {
+	var bits uint64
+	for _, v := range m {
+		bits |= v
+	}
+	return bits
+}
+
+// copyByKey writes dst[k] for the range key k — distinct keys touch
+// distinct slots: exempt.
+func copyByKey(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// largest folds through the builtin max: exempt.
+func largest(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		best = max(best, v)
+	}
+	return best
+}
+
+// subtract deletes by key — set subtraction commutes: exempt.
+func subtract(dst map[string]int, src map[string]bool) {
+	for k := range src {
+		delete(dst, k)
+	}
+}
+
+// sortedKeys is the canonical collect-then-sort idiom: exempt.
+func sortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// suppressed documents an order-insensitive loop the heuristics cannot
+// prove; the audited directive keeps it finding-free.
+func suppressed(m map[int]bool) int {
+	best := -1
+	//simlint:allow maprange (lowest-id selection reaches the same winner in any iteration order)
+	for id := range m {
+		if best < 0 || id < best {
+			best = id
+		}
+	}
+	return best
+}

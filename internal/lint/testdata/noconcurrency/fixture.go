@@ -1,0 +1,27 @@
+// Fixture for the noconcurrency analyzer: every concurrency construct
+// inside the deterministic core is a finding.
+package fixture
+
+import "sync" // want `noconcurrency: import of "sync" in the deterministic core`
+
+var mu sync.Mutex
+
+func goStmt() {
+	go func() {}() // want `noconcurrency: go statement in the deterministic core`
+}
+
+func channels() {
+	var ch chan int // want `noconcurrency: channel type in the deterministic core`
+	ch <- 1         // want `noconcurrency: channel send in the deterministic core`
+	<-ch            // want `noconcurrency: channel receive in the deterministic core`
+	close(ch)       // want `noconcurrency: close of a channel in the deterministic core`
+	for range ch {  // want `noconcurrency: range over a channel in the deterministic core`
+	}
+	select {} // want `noconcurrency: select statement in the deterministic core`
+}
+
+// closing a non-channel via a local function named close is fine.
+func notBuiltinClose() {
+	close := func() {}
+	close()
+}

@@ -1,0 +1,73 @@
+package lint
+
+import "go/ast"
+
+// Walltime forbids host wall-clock time and the global math/rand
+// stream in simulation packages. Simulated time advances only through
+// sim.Engine, and every random draw comes from a seeded sim.RNG — a
+// stray time.Now() or rand.Intn() couples a run to the host scheduler
+// or to process-global state and silently destroys replayability.
+//
+// The harness side (internal/experiments, cmd/) legitimately measures
+// host wall-clock around whole simulations and is exempt. Building a
+// locally-seeded generator (rand.New(rand.NewSource(seed))) is always
+// allowed; only the package-global convenience functions are not.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "wall-clock time or global math/rand in a simulation package",
+	Run:  runWalltime,
+}
+
+// wallTimeFuncs are the time package entry points that read or wait on
+// the host clock.
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions
+// that draw from the shared process-global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "IntN": true, "Int32": true,
+	"Int32N": true, "Int64": true, "Int64N": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true, "Float32": true, "Float64": true,
+	"NormFloat64": true, "ExpFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runWalltime(p *Pass) {
+	if !inInternal(p.RelPath) || harnessSide(p.RelPath) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.ObjectOf(sel.Sel)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: a method named Now on a
+			// simulation type is fine.
+			if _, ok := p.Info.Selections[sel]; ok {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if wallTimeFuncs[obj.Name()] {
+					p.Reportf(sel.Pos(), "time.%s reads the host clock; simulated time comes from sim.Engine", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[obj.Name()] {
+					p.Reportf(sel.Pos(), "global %s.%s draws from process-global state; use a seeded sim.RNG", obj.Pkg().Name(), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}

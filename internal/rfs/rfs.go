@@ -848,7 +848,15 @@ func (fs *FS) finishClean() {
 // census. Tests call it after adversarial interleavings.
 func (fs *FS) CheckInvariants() error {
 	valid := make([]int, len(fs.segs))
-	for ppn, ref := range fs.backrefs {
+	// Walk backrefs in sorted ppn order so that, with several
+	// violations present, the same one is reported on every run.
+	ppns := make([]int, 0, len(fs.backrefs))
+	for ppn := range fs.backrefs {
+		ppns = append(ppns, ppn)
+	}
+	sort.Ints(ppns)
+	for _, ppn := range ppns {
+		ref := fs.backrefs[ppn]
 		valid[fs.segOf(ppn)]++
 		if ref.ino < 0 || ref.ino >= len(fs.inodes) {
 			return fmt.Errorf("rfs: backref %d -> bad inode %d", ppn, ref.ino)

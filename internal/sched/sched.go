@@ -217,6 +217,8 @@ type request struct {
 // getReq pops a recycled request (or allocates one, binding its reusable
 // callbacks to the new request's identity). All fields except the
 // callbacks and recycled buffer capacity are zero.
+//
+//simlint:hotpath
 func (s *Scheduler) getReq() *request {
 	if n := len(s.freeReqs); n > 0 {
 		r := s.freeReqs[n-1]
@@ -224,8 +226,11 @@ func (s *Scheduler) getReq() *request {
 		s.freeReqs = s.freeReqs[:n-1]
 		return r
 	}
+	//simlint:allow hotpath (pool-miss path: the request and its two bound callbacks are built once and recycled via putReq forever after)
 	r := &request{}
+	//simlint:allow hotpath (bound once per pooled request lifetime, not per dispatch)
 	r.done = func(data []byte, err error) { r.nq.complete(r, data, err) }
+	//simlint:allow hotpath (bound once per pooled request lifetime, not per dispatch)
 	r.routedWcb = func(err error) { r.rcb(nil, err) }
 	return r
 }
@@ -233,6 +238,8 @@ func (s *Scheduler) getReq() *request {
 // putReq recycles a finished (or rejected) request. The caller must
 // guarantee no outstanding reference: completion has fired and the
 // request is in no queue, table or follower list.
+//
+//simlint:hotpath
 func (s *Scheduler) putReq(r *request) {
 	*r = request{
 		data:      r.data[:0],
@@ -571,6 +578,8 @@ func (nq *nodeQueue) admit(r *request) error {
 // submissions in the same instant forms one batch instead of many.
 // While a doorbell's software occupies the submission thread, only
 // Accel work can dispatch — the ISP path needs no host thread.
+//
+//simlint:hotpath
 func (nq *nodeQueue) kick() {
 	if nq.kicked || nq.qlen == 0 || nq.inflight >= nq.s.cfg.MaxInflight {
 		return
@@ -598,6 +607,8 @@ func (nq *nodeQueue) accelReady() bool {
 // budget is small (AccelShare of the window), and host latency
 // classes take the rest strict-priority first, so realtime tail
 // latency stays protected.
+//
+//simlint:hotpath
 func (nq *nodeQueue) dispatch() {
 	nq.dispatchAccel()
 	if !nq.ringing {
@@ -611,6 +622,8 @@ func (nq *nodeQueue) dispatch() {
 // accumulate so the next doorbell carries a bigger batch. The Accel
 // class never joins a doorbell batch: its requests issue device-side
 // (see dispatchAccel).
+//
+//simlint:hotpath
 func (nq *nodeQueue) dispatchHost() {
 	budget := nq.s.cfg.BatchSize
 	if room := nq.s.cfg.MaxInflight - nq.inflight; room < budget {
@@ -690,6 +703,7 @@ func (nq *nodeQueue) dispatchHost() {
 	nq.s.stats.batchedReqs += int64(len(batch))
 	reqs := nq.node.GetBatch()
 	for _, r := range batch {
+		//simlint:allow hotpath (GetBatch returns the node's recycled batch buffer; growth is amortized across doorbells)
 		reqs = append(reqs, core.HostReq{
 			Addr:       r.addr,
 			Write:      r.write,
@@ -713,6 +727,8 @@ func (nq *nodeQueue) dispatchHost() {
 // thread, and no host DMA. The grant still occupies a window slot, so
 // the dispatcher's picture of device occupancy includes ISP traffic —
 // the whole point of admitting it here.
+//
+//simlint:hotpath
 func (nq *nodeQueue) dispatchAccel() {
 	for len(nq.q[Accel]) > 0 && nq.inflight < nq.s.cfg.MaxInflight && nq.accelTokens() > 0 {
 		r := nq.pop(Accel)
@@ -744,6 +760,8 @@ func (nq *nodeQueue) accelTokens() int {
 // promote moves a queued read to a higher-priority class queue (its
 // accounting moves with it). Only reads are ever promoted, so NAND
 // write ordering is unaffected.
+//
+//simlint:hotpath
 func (nq *nodeQueue) promote(lead *request, to Class) {
 	q := nq.q[lead.class]
 	for i, x := range q {
@@ -755,10 +773,13 @@ func (nq *nodeQueue) promote(lead *request, to Class) {
 		}
 	}
 	lead.class = to
+	//simlint:allow hotpath (per-class queues are persistent fields; growth is amortized over the queue's lifetime)
 	nq.q[to] = append(nq.q[to], lead)
 }
 
 // pop removes the FIFO head of one class queue.
+//
+//simlint:hotpath
 func (nq *nodeQueue) pop(cl Class) *request {
 	r := nq.q[cl][0]
 	nq.q[cl][0] = nil
@@ -792,6 +813,8 @@ func (nq *nodeQueue) gcTokens(taken int) int {
 }
 
 // complete finishes a dispatched request and every coalesced follower.
+//
+//simlint:hotpath
 func (nq *nodeQueue) complete(r *request, data []byte, err error) {
 	nq.inflight--
 	if r.class == Background {

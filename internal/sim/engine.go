@@ -197,6 +197,8 @@ func (e *Engine) Stats() EngineStats {
 
 // alloc takes a slot from the free list (or grows the pool) and
 // stamps it with the event's key.
+//
+//simlint:hotpath
 func (e *Engine) alloc(at Time, fn func()) int32 {
 	var idx int32
 	if e.free >= 0 {
@@ -218,6 +220,8 @@ func (e *Engine) alloc(at Time, fn func()) int32 {
 
 // release recycles a slot. The generation bump invalidates every
 // outstanding handle to it.
+//
+//simlint:hotpath
 func (e *Engine) release(idx int32) {
 	s := &e.slots[idx]
 	s.fn = nil
@@ -229,6 +233,8 @@ func (e *Engine) release(idx int32) {
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: it always indicates a modelling bug.
+//
+//simlint:hotpath
 func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -254,6 +260,8 @@ func (e *Engine) At(t Time, fn func()) Event {
 }
 
 // After schedules fn to run d after the current time.
+//
+//simlint:hotpath
 func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -266,6 +274,8 @@ func (e *Engine) After(d Time, fn func()) Event {
 // safe no-op: the handle's generation no longer matches, so it cannot
 // touch whatever event now occupies the slot. The slot itself is
 // reaped when the firing loop reaches it.
+//
+//simlint:hotpath
 func (e *Engine) Cancel(ev Event) {
 	if ev.idx <= 0 || int(ev.idx) >= len(e.slots) {
 		return
@@ -282,6 +292,7 @@ func (e *Engine) Cancel(ev Event) {
 
 // --- cur heap (current-tick drain) ----------------------------------
 
+//simlint:hotpath
 func (e *Engine) curPush(x entry) {
 	e.cur = append(e.cur, x)
 	i := len(e.cur) - 1
@@ -295,6 +306,7 @@ func (e *Engine) curPush(x entry) {
 	}
 }
 
+//simlint:hotpath
 func (e *Engine) curPop() entry {
 	h := e.cur
 	top := h[0]
@@ -323,6 +335,7 @@ func (e *Engine) curPop() entry {
 
 // --- far heap --------------------------------------------------------
 
+//simlint:hotpath
 func (e *Engine) farPush(x entry) {
 	e.far = append(e.far, x)
 	i := len(e.far) - 1
@@ -336,6 +349,7 @@ func (e *Engine) farPush(x entry) {
 	}
 }
 
+//simlint:hotpath
 func (e *Engine) farPop() entry {
 	h := e.far
 	top := h[0]
@@ -363,6 +377,7 @@ func (e *Engine) farPop() entry {
 
 // --- wheel -----------------------------------------------------------
 
+//simlint:hotpath
 func (e *Engine) bucketPush(tick int64, idx int32) {
 	slot := int(tick) & wheelMask
 	b := &e.buckets[slot]
@@ -378,6 +393,8 @@ func (e *Engine) bucketPush(tick int64, idx int32) {
 
 // nextBucketDist returns the circular distance from base to the first
 // occupied bucket, or -1 if the wheel is empty.
+//
+//simlint:hotpath
 func (e *Engine) nextBucketDist() int {
 	start := int(e.base) & wheelMask
 	sw, sb := start>>6, uint(start&63)
@@ -399,6 +416,8 @@ func (e *Engine) nextBucketDist() int {
 
 // drainBucket moves every event of the bucket at tick into the cur
 // heap (reaping cancelled slots) and clears the bucket.
+//
+//simlint:hotpath
 func (e *Engine) drainBucket(tick int64) {
 	slot := int(tick) & wheelMask
 	b := &e.buckets[slot]
@@ -420,6 +439,8 @@ func (e *Engine) drainBucket(tick int64) {
 
 // cascade moves far-heap events whose tick is now inside the wheel
 // horizon into their buckets.
+//
+//simlint:hotpath
 func (e *Engine) cascade() {
 	horizon := e.base + wheelSlots
 	for len(e.far) > 0 && int64(e.far[0].at)>>tickBits < horizon {
@@ -436,6 +457,8 @@ func (e *Engine) cascade() {
 // ensureNext makes the earliest live event the cur-heap minimum and
 // reports whether one exists. It advances base (draining buckets and
 // cascading far timers) but never moves the clock or fires anything.
+//
+//simlint:hotpath
 func (e *Engine) ensureNext() bool {
 	for {
 		// Reap cancelled events off the cur top.
@@ -471,6 +494,8 @@ func (e *Engine) ensureNext() bool {
 }
 
 // Step fires the next event, if any, and reports whether one fired.
+//
+//simlint:hotpath
 func (e *Engine) Step() bool {
 	if !e.ensureNext() {
 		return false
@@ -534,6 +559,8 @@ func (e *Engine) NewTimer(fn func()) *Timer {
 // Arm schedules the timer d after now, replacing any pending arming
 // (the previous schedule is cancelled). Rearming from inside fn is
 // the usual self-pacing idiom.
+//
+//simlint:hotpath
 func (t *Timer) Arm(d Time) {
 	t.eng.Cancel(t.ev)
 	t.ev = t.eng.After(d, t.fn)
@@ -541,6 +568,8 @@ func (t *Timer) Arm(d Time) {
 
 // ArmAt schedules the timer at absolute time at, replacing any
 // pending arming.
+//
+//simlint:hotpath
 func (t *Timer) ArmAt(at Time) {
 	t.eng.Cancel(t.ev)
 	t.ev = t.eng.At(at, t.fn)
@@ -548,6 +577,8 @@ func (t *Timer) ArmAt(at Time) {
 
 // Stop cancels a pending arming; a stopped or fired timer may be
 // armed again.
+//
+//simlint:hotpath
 func (t *Timer) Stop() {
 	t.eng.Cancel(t.ev)
 	t.ev = Event{}

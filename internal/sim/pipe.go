@@ -41,12 +41,16 @@ func (p *Pipe) Latency() Time { return p.latency }
 func (p *Pipe) BytesPerSec() int64 { return p.bytesPerSec }
 
 // serialization returns the wire occupancy of a transfer of n bytes.
+//
+//simlint:hotpath
 func (p *Pipe) serialization(n int) Time {
 	return Time(int64(n) * int64(Second) / p.bytesPerSec)
 }
 
 // Transfer enqueues a transfer of size bytes and schedules done at the
 // delivery time. It returns the delivery time.
+//
+//simlint:hotpath
 func (p *Pipe) Transfer(size int, done func()) Time {
 	if size < 0 {
 		panic(fmt.Sprintf("sim: pipe %q: negative transfer size %d", p.name, size))

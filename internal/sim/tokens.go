@@ -52,6 +52,8 @@ func (t *TokenPool) Blocked() int64 { return t.blocked }
 // Grants are strictly FIFO: a small request queued behind a large one
 // waits (no overtaking), which models in-order link-level credit flow.
 // fn runs synchronously if tokens are available and nobody is queued.
+//
+//simlint:hotpath
 func (t *TokenPool) Acquire(n int, fn func()) {
 	if n < 0 {
 		panic(fmt.Sprintf("sim: token pool %q: negative acquire %d", t.name, n))
@@ -71,8 +73,11 @@ func (t *TokenPool) Acquire(n int, fn func()) {
 
 // pushWaiter appends to the ring, growing the backing array only when
 // full (unwrapping the live entries into the new array).
+//
+//simlint:hotpath
 func (t *TokenPool) pushWaiter(w waiter) {
 	if t.wn == len(t.waiters) {
+		//simlint:allow hotpath (ring doubling on overflow only; amortized O(1) per waiter)
 		grown := make([]waiter, max(4, 2*len(t.waiters)))
 		for i := 0; i < t.wn; i++ {
 			grown[i] = t.waiters[(t.whead+i)%len(t.waiters)]
@@ -84,6 +89,7 @@ func (t *TokenPool) pushWaiter(w waiter) {
 	t.wn++
 }
 
+//simlint:hotpath
 func (t *TokenPool) popWaiter() waiter {
 	w := t.waiters[t.whead]
 	t.waiters[t.whead] = waiter{} // drop the fn reference
@@ -94,6 +100,8 @@ func (t *TokenPool) popWaiter() waiter {
 
 // TryAcquire takes n tokens if immediately available (and no waiter is
 // queued ahead) and reports whether it succeeded.
+//
+//simlint:hotpath
 func (t *TokenPool) TryAcquire(n int) bool {
 	if t.wn == 0 && t.avail >= n {
 		t.avail -= n
@@ -104,6 +112,8 @@ func (t *TokenPool) TryAcquire(n int) bool {
 }
 
 // Release returns n tokens and serves queued waiters in order.
+//
+//simlint:hotpath
 func (t *TokenPool) Release(n int) {
 	if n < 0 {
 		panic(fmt.Sprintf("sim: token pool %q: negative release %d", t.name, n))
