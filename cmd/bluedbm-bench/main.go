@@ -17,6 +17,8 @@
 //	                               # blockfs-on-FTL vs cluster RFS vs RFS + ISP file scans
 //	bluedbm-bench -run apps -json BENCH_APPS.json
 //	                               # distributed NN + migrating traversal vs host twins
+//	bluedbm-bench -run fault -json BENCH_FAULT.json
+//	                               # node-kill on a mirrored volume: degraded p99 + rebuild
 //	bluedbm-bench -run engine -json BENCH_ENGINE.json
 //	                               # event-engine speed: events/sec at 4/16/64 nodes
 //	bluedbm-bench -list            # list experiment ids
@@ -146,6 +148,22 @@ func appsRunner(short bool, jsonPath string) func() (string, error) {
 	}
 }
 
+// faultRunner drives the fault-scenario experiment: a mirrored volume
+// under realtime + churn load with a whole node killed mid-window,
+// served degraded, then rebuilt on the Background class.
+func faultRunner(short bool, jsonPath string) func() (string, error) {
+	return func() (string, error) {
+		res, err := experiments.Fault(experiments.DefaultFault(short))
+		if err != nil {
+			return "", err
+		}
+		if err := writeJSON(jsonPath, res); err != nil {
+			return "", err
+		}
+		return experiments.FormatFault(res), nil
+	}
+}
+
 // engineRunner drives the event-engine benchmark: the synthetic
 // full-stack load swept over cluster sizes, measuring the simulation
 // substrate (events/sec, ns/event, allocs/event) rather than the
@@ -171,6 +189,7 @@ func allRunners(short bool, jsonPath string) []runner {
 		{"isp", "distributed in-store processing: ISP-F vs host-mediated throughput + realtime p99 under contention", true, ispRunner(short, jsonPath)},
 		{"fs", "file stack: blockfs-on-FTL vs cluster RFS vs cluster RFS + distributed file scans (Figure 8 end-to-end)", true, fsRunner(short, jsonPath)},
 		{"apps", "distributed applications: cluster nearest-neighbor + migrating graph traversal vs host-centric twins", true, appsRunner(short, jsonPath)},
+		{"fault", "fault tolerance: node kill on a mirrored volume — degraded p99 and time-to-rebuild vs baseline", true, faultRunner(short, jsonPath)},
 		{"table1", "Artix-7 flash controller resources", false, func() (string, error) {
 			return experiments.FormatTable1(8), nil
 		}},
@@ -344,7 +363,7 @@ func run() int {
 			}
 		}
 		if jsonRunners > 1 {
-			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched/gc/isp/fs/apps/engine experiments separately")
+			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched/gc/isp/fs/apps/fault/engine experiments separately")
 			return 2
 		}
 	}

@@ -15,8 +15,11 @@
 //	                      wheel + far heap, pooled generation-counted
 //	                      events, reusable Timers), pipes, token pools
 //	                      with ring-buffered waiters, RNG, tallies
-//	internal/nand         raw NAND cards: buses, chips, blocks, pages
-//	internal/ecc          SEC-DED Hamming codes over every page
+//	internal/nand         raw NAND cards: buses, chips, blocks, pages;
+//	                      deterministic wear-scaled bit-error injection
+//	                      and whole-card failure (Fail/Replace)
+//	internal/ecc          SEC-DED Hamming codes over every page,
+//	                      allocation-free in-place decode
 //	internal/flashctl     tagged flash controller (paper §3.1.1)
 //	internal/flashserver  flash server: in-order interfaces, ATU (§3.1.2)
 //	internal/fabric       integrated storage network (§3.2)
@@ -30,7 +33,10 @@
 //	                      GC token budget for FTL housekeeping
 //	internal/ftl          page-mapped FTL: mapping, GC, wear leveling
 //	internal/volume       cluster-wide logical volume over per-card FTLs;
-//	                      physical-address queries (Locate/PhysMap)
+//	                      physical-address queries (Locate/PhysMap);
+//	                      optional cross-node mirroring: degraded-read
+//	                      failover, Background-class rebuild reusing the
+//	                      GC urgency-token machinery
 //	internal/rfs          RFS-style flash file system (§4): FS core generic
 //	                      over a Backend — per-card (flashserver iface) or
 //	                      cluster-wide (log striped over every chip of every
@@ -53,8 +59,8 @@
 //	                      (WalkMigrate: state moves to the data over the
 //	                      fabric instead of pages moving to a home node)
 //	internal/workload     deterministic generators and traffic drivers
-//	internal/experiments  the paper's tables and figures + the sched/gc/isp
-//	                      benchmark experiments
+//	internal/experiments  the paper's tables and figures + the sched/gc/
+//	                      isp/fs/apps/fault/engine benchmark experiments
 //	internal/report       observability
 //	internal/fpga         FPGA resource models (Tables 1-2)
 //	internal/power        node power model (Table 3)
@@ -68,9 +74,10 @@
 // bench harness in bench_test.go regenerates every table and figure of
 // the paper's evaluation; cmd/bluedbm-bench does the same from the
 // command line, including the beyond-the-paper experiments (-run
-// engine, -run sched, -run gc, -run isp, -run fs, -run apps) whose
-// committed artifacts are BENCH_ENGINE.json, BENCH_SCHED.json,
-// BENCH_GC.json, BENCH_ISP.json, BENCH_FS.json and BENCH_APPS.json.
+// engine, -run sched, -run gc, -run isp, -run fs, -run apps, -run
+// fault) whose committed artifacts are BENCH_ENGINE.json,
+// BENCH_SCHED.json, BENCH_GC.json, BENCH_ISP.json, BENCH_FS.json,
+// BENCH_APPS.json and BENCH_FAULT.json.
 // Profiling flags (-cpuprofile, -memprofile, -trace) work with every
 // experiment.
 package repro

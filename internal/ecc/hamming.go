@@ -8,7 +8,6 @@ package ecc
 
 import (
 	"errors"
-	"fmt"
 	"math/bits"
 )
 
@@ -85,6 +84,8 @@ func buildEncTab() [8][256]byte {
 // Encode computes the 8 check bits for a 64-bit data word. The returned
 // byte has the 7 Hamming syndrome bits in bits 0..6 and the overall
 // parity in bit 7.
+//
+//simlint:hotpath
 func Encode(data uint64) byte {
 	t := encTab[0][byte(data)] ^
 		encTab[1][byte(data>>8)] ^
@@ -106,6 +107,8 @@ func Encode(data uint64) byte {
 // flipped bit anywhere in the 72-bit code word (data, check, or parity
 // bit). It returns the corrected data and the number of corrected bits
 // (0 or 1). A double-bit error returns ErrUncorrectable.
+//
+//simlint:hotpath
 func Decode(data uint64, check byte) (corrected uint64, fixed int, err error) {
 	// Syndrome: recomputed Hamming check bits XOR received check bits.
 	syndrome := int(Encode(data)^check) & 0x7f
@@ -122,9 +125,12 @@ func Decode(data uint64, check byte) (corrected uint64, fixed int, err error) {
 			// The overall parity bit itself flipped; data is intact.
 			return data, 1, nil
 		}
-		// Single-bit error at Hamming position = syndrome.
+		// Single-bit error at a Hamming position past the codeword
+		// (syndrome 72..127): only a multi-bit error produces it, so
+		// report it uncorrectable. Static sentinel — this runs on the
+		// per-word read path and must not allocate.
 		if syndrome > 71 {
-			return data, 0, fmt.Errorf("%w: syndrome %d out of range", ErrUncorrectable, syndrome)
+			return data, 0, ErrUncorrectable
 		}
 		if di := posData[syndrome]; di >= 0 {
 			return data ^ 1<<uint(di), 1, nil

@@ -81,8 +81,11 @@ func (c *PageCodec) DecodePage(raw []byte) (DecodeResult, error) {
 // corrections directly into raw's data region and returning it as a
 // sub-slice. The caller must own raw (the flash read path hands each
 // caller a private copy). Semantics otherwise match DecodePage.
+//
+//simlint:hotpath
 func (c *PageCodec) DecodePageInPlace(raw []byte) (DecodeResult, error) {
 	if len(raw) != c.StoredSize() {
+		//simlint:allow hotpath (size-mismatch error path, never taken steady-state)
 		return DecodeResult{}, fmt.Errorf("ecc: decode: raw is %d bytes, want %d", len(raw), c.StoredSize())
 	}
 	data := raw[:c.pageSize]
@@ -92,6 +95,7 @@ func (c *PageCodec) DecodePageInPlace(raw []byte) (DecodeResult, error) {
 		w := binary.LittleEndian.Uint64(data[i:])
 		cw, n, err := Decode(w, oob[i/8])
 		if err != nil {
+			//simlint:allow hotpath (uncorrectable-read error path, off the steady-state path)
 			return DecodeResult{}, fmt.Errorf("word at byte %d: %w", i, err)
 		}
 		if n > 0 && cw != w {

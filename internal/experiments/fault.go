@@ -1,0 +1,289 @@
+package experiments
+
+// The fault-scenario experiment: the durability story the ROADMAP's
+// item 2 asks for, measured. A mirrored volume (cross-node replicas,
+// internal/volume) serves realtime point reads and batch churn writes
+// through three measured windows on one cluster:
+//
+//   - baseline: every copy healthy;
+//   - degraded: a whole node is killed mid-window — reads fail over
+//     to the surviving replica, writes land on one copy;
+//   - rebuild: the node's cards are replaced blank and the rebuild
+//     pump refills them from the survivors on the Background class,
+//     gated by the same urgency-token machinery as GC, while the
+//     foreground load keeps running.
+//
+// The headline numbers are the degraded-mode and rebuild-mode realtime
+// p99 (vs baseline) and the time-to-rebuild: reconstruction must make
+// steady progress without starving realtime.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/volume"
+	"repro/internal/workload"
+)
+
+// FaultConfig sizes the fault-scenario experiment.
+type FaultConfig struct {
+	Nodes    int    `json:"nodes"`
+	Readers  int    `json:"readers"`  // realtime point-read probes
+	Writers  int    `json:"writers"`  // batch churn-writer streams
+	Depth    int    `json:"depth"`    // closed-loop outstanding per stream
+	Requests int    `json:"requests"` // completions per writer per window
+	Seed     uint64 `json:"seed"`
+
+	// KillNode is the node killed in the degraded window; KillAfter is
+	// the virtual delay into that window before it dies.
+	KillNode  int      `json:"kill_node"`
+	KillAfter sim.Time `json:"kill_after_ns"`
+
+	Sched sched.Config `json:"sched"`
+	FTL   ftl.Config   `json:"ftl"`
+}
+
+// DefaultFault returns the standard shape: a 4-node mirrored cluster,
+// realtime probes against churn writers, one node killed and rebuilt.
+// short cuts request counts for smoke runs.
+func DefaultFault(short bool) FaultConfig {
+	cfg := FaultConfig{
+		Nodes:     4,
+		Readers:   8,
+		Writers:   4,
+		Depth:     4,
+		Requests:  768,
+		Seed:      97,
+		KillNode:  1,
+		KillAfter: 500 * sim.Microsecond,
+		Sched:     sched.DefaultConfig(),
+		FTL:       ftl.Config{OverProvision: 0.25, GCLowWater: 4, WearLevelEvery: 64, GCPipeline: 16},
+	}
+	// Same admission shaping as the GC experiment: the dispatcher must
+	// own the device window for class priority and the Background token
+	// gate (GC and rebuild alike) to act.
+	cfg.Sched.MaxInflight = 16
+	cfg.Sched.BatchSize = 16
+	if short {
+		cfg.Requests = 192
+	}
+	return cfg
+}
+
+// faultParams shrinks flash capacity so seeding, churn, and a full
+// node rebuild run in seconds of wall-clock time.
+func faultParams(nodes int) core.Params {
+	p := core.DefaultParams(nodes)
+	p.Geometry.ChipsPerBus = 2
+	p.Geometry.BlocksPerChip = 2
+	p.Geometry.PagesPerBlock = 32
+	return p
+}
+
+// FaultPhase is one measured window.
+type FaultPhase struct {
+	Loop   workload.LoopResult `json:"loop"`
+	Sched  sched.Snapshot      `json:"sched"`
+	Volume volume.Stats        `json:"volume"`
+}
+
+// realtimeClass pulls the realtime class's snapshot out of a phase.
+func (p FaultPhase) realtimeClass() sched.ClassSnapshot {
+	for _, cs := range p.Sched.Classes {
+		if cs.Class == "realtime" {
+			return cs
+		}
+	}
+	return sched.ClassSnapshot{}
+}
+
+// FaultResult is the JSON-ready outcome.
+type FaultResult struct {
+	Config   FaultConfig `json:"config"`
+	Baseline FaultPhase  `json:"baseline"`
+	Degraded FaultPhase  `json:"degraded"`
+	Rebuild  FaultPhase  `json:"rebuild"`
+
+	// Realtime read tail latency per window, and each fault window's
+	// ratio to the no-fault baseline.
+	BaselineP99Us float64 `json:"realtime_p99_baseline_us"`
+	DegradedP99Us float64 `json:"realtime_p99_degraded_us"`
+	RebuildP99Us  float64 `json:"realtime_p99_rebuild_us"`
+	DegradedX     float64 `json:"degraded_p99_x"`
+	RebuildX      float64 `json:"rebuild_p99_x"`
+
+	// RebuildMs is the virtual time from replacing the node's cards to
+	// the last page restored, with the foreground load still running.
+	RebuildMs      float64 `json:"rebuild_ms"`
+	PagesRebuilt   int64   `json:"pages_rebuilt"`
+	DegradedReads  int64   `json:"degraded_reads"`
+	DegradedWrites int64   `json:"degraded_writes"`
+}
+
+// faultSpecs builds the stream mix: sparse realtime probes (they
+// measure what the fault leaves of the device, not their own queueing)
+// plus paced churn writers — the GC experiment's shape, over a
+// mirrored volume.
+func faultSpecs(cfg FaultConfig) []workload.VolumeStreamSpec {
+	var specs []workload.VolumeStreamSpec
+	for i := 0; i < cfg.Readers; i++ {
+		specs = append(specs, workload.VolumeStreamSpec{
+			Name:      fmt.Sprintf("rt%02d", i),
+			Class:     sched.Realtime,
+			Requests:  -1,
+			Depth:     1,
+			ThinkTime: 500 * sim.Microsecond,
+			Seed:      cfg.Seed + uint64(i)*1299709,
+		})
+	}
+	for i := 0; i < cfg.Writers; i++ {
+		specs = append(specs, workload.VolumeStreamSpec{
+			Name:          fmt.Sprintf("wr%02d", i),
+			Class:         sched.Batch,
+			WriteFraction: 1.0,
+			Depth:         2,
+			ThinkTime:     4 * sim.Millisecond,
+			Seed:          cfg.Seed + 7 + uint64(i)*15485863,
+		})
+	}
+	return specs
+}
+
+// runFaultPhase measures one window: reset stats, drive the workload
+// (with an optional concurrent fault/rebuild action), snapshot.
+func runFaultPhase(cfg FaultConfig, s *sched.Scheduler, v *volume.Volume, c *core.Cluster,
+	concurrent func(live func() bool)) (FaultPhase, error) {
+	s.ResetStats()
+	base := v.Stats()
+	loop, err := workload.RunVolumeClosedLoopWith(v, c, faultSpecs(cfg), cfg.Depth, cfg.Requests, concurrent)
+	if err != nil {
+		return FaultPhase{}, err
+	}
+	if loop.Errors > 0 {
+		// The whole point of the mirror: a node loss is absorbed, not
+		// surfaced. Any workload-visible error is a failure.
+		return FaultPhase{}, fmt.Errorf("%d request errors leaked through the mirror", loop.Errors)
+	}
+	return FaultPhase{Loop: loop, Sched: s.Snapshot(), Volume: v.Stats().Delta(base)}, nil
+}
+
+// Fault runs the three-window fault scenario on one mirrored cluster.
+func Fault(cfg FaultConfig) (FaultResult, error) {
+	res := FaultResult{Config: cfg}
+	if cfg.KillNode < 0 || cfg.KillNode >= cfg.Nodes {
+		return res, fmt.Errorf("kill node %d out of range (%d nodes)", cfg.KillNode, cfg.Nodes)
+	}
+	c, err := core.NewCluster(faultParams(cfg.Nodes))
+	if err != nil {
+		return res, err
+	}
+	s, err := sched.New(c, cfg.Sched)
+	if err != nil {
+		return res, err
+	}
+	vcfg := volume.DefaultConfig()
+	vcfg.FTL = cfg.FTL
+	vcfg.Mirror = true
+	v, err := volume.New(c, s, vcfg)
+	if err != nil {
+		return res, err
+	}
+	if err := workload.SeedVolume(v, c, v.Pages(), 64, cfg.Seed); err != nil {
+		return res, err
+	}
+	// Warm the FTLs toward steady-state churn, unmeasured.
+	warm := faultSpecs(cfg)
+	for i := range warm {
+		warm[i].Seed ^= 0x5eed
+	}
+	if _, err := workload.RunVolumeClosedLoop(v, c, warm, cfg.Depth, cfg.Requests/4); err != nil {
+		return res, err
+	}
+
+	// Window 1: no-fault baseline.
+	if res.Baseline, err = runFaultPhase(cfg, s, v, c, nil); err != nil {
+		return res, fmt.Errorf("baseline window: %w", err)
+	}
+
+	// Window 2: the node dies mid-window; the mirror absorbs it.
+	if res.Degraded, err = runFaultPhase(cfg, s, v, c, func(func() bool) {
+		c.Eng.After(cfg.KillAfter, func() {
+			if kerr := v.KillNode(cfg.KillNode); kerr != nil {
+				panic(kerr) // config was validated; unreachable
+			}
+		})
+	}); err != nil {
+		return res, fmt.Errorf("degraded window: %w", err)
+	}
+	if res.Degraded.Volume.DegradedReads == 0 {
+		return res, fmt.Errorf("degraded window: node kill produced no degraded reads")
+	}
+
+	// Window 3: replace the node's cards and rebuild them from the
+	// survivors while the same load runs. The closed-loop driver drains
+	// every event, so the window ends only after the rebuild completes.
+	var rebuildStart, rebuildEnd sim.Time
+	if res.Rebuild, err = runFaultPhase(cfg, s, v, c, func(func() bool) {
+		rebuildStart = c.Eng.Now()
+		if rerr := v.RebuildNode(cfg.KillNode, func() { rebuildEnd = c.Eng.Now() }); rerr != nil {
+			panic(rerr) // the node was killed in window 2; unreachable
+		}
+	}); err != nil {
+		return res, fmt.Errorf("rebuild window: %w", err)
+	}
+	if rebuildEnd == 0 {
+		return res, fmt.Errorf("rebuild window: rebuild never completed")
+	}
+	if v.Rebuilding() {
+		return res, fmt.Errorf("rebuild window: volume still rebuilding after drain")
+	}
+	if res.Rebuild.Volume.PagesRebuilt == 0 {
+		return res, fmt.Errorf("rebuild window: no pages rebuilt")
+	}
+
+	res.BaselineP99Us = res.Baseline.realtimeClass().P99Us
+	res.DegradedP99Us = res.Degraded.realtimeClass().P99Us
+	res.RebuildP99Us = res.Rebuild.realtimeClass().P99Us
+	if res.BaselineP99Us > 0 {
+		res.DegradedX = res.DegradedP99Us / res.BaselineP99Us
+		res.RebuildX = res.RebuildP99Us / res.BaselineP99Us
+	}
+	res.RebuildMs = float64(rebuildEnd-rebuildStart) / float64(sim.Millisecond)
+	res.PagesRebuilt = res.Rebuild.Volume.PagesRebuilt
+	res.DegradedReads = res.Degraded.Volume.DegradedReads + res.Rebuild.Volume.DegradedReads
+	res.DegradedWrites = res.Degraded.Volume.DegradedWrites + res.Rebuild.Volume.DegradedWrites
+	return res, nil
+}
+
+// FormatFault renders the three windows.
+func FormatFault(r FaultResult) string {
+	var t table
+	t.row("Window", "rt p50 us", "rt p99 us", "p99 vs base", "Kops/s", "degraded R", "degraded W", "rebuilt")
+	rows := []struct {
+		name string
+		p    FaultPhase
+		x    float64
+	}{
+		{"baseline", r.Baseline, 1},
+		{"degraded", r.Degraded, r.DegradedX},
+		{"rebuild", r.Rebuild, r.RebuildX},
+	}
+	for _, row := range rows {
+		rt := row.p.realtimeClass()
+		t.row(row.name, f1(rt.P50Us), f1(rt.P99Us), f2(row.x)+"x",
+			f1(row.p.Sched.TotalOpsPerSec/1e3),
+			fmt.Sprintf("%d", row.p.Volume.DegradedReads),
+			fmt.Sprintf("%d", row.p.Volume.DegradedWrites),
+			fmt.Sprintf("%d", row.p.Volume.PagesRebuilt))
+	}
+	head := fmt.Sprintf(
+		"Fault scenario: node %d of %d killed mid-run on a mirrored volume, then rebuilt on Background\n"+
+			"realtime p99 %.1f us baseline, %.1f us degraded (%.2fx), %.1f us during rebuild (%.2fx); %d pages rebuilt in %.1f ms\n",
+		r.Config.KillNode, r.Config.Nodes,
+		r.BaselineP99Us, r.DegradedP99Us, r.DegradedX, r.RebuildP99Us, r.RebuildX,
+		r.PagesRebuilt, r.RebuildMs)
+	return head + t.String()
+}

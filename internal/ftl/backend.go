@@ -17,6 +17,13 @@ type IOTag uint8
 // erase traffic. Host callers must not use it.
 const TagGC IOTag = 0xFF
 
+// TagRebuild is the tag reserved by convention for replica-rebuild
+// traffic (see internal/volume). The FTL treats it as an ordinary tag
+// — it gets its own write frontier like any stream — but backends map
+// it to the Background QoS class so reconstruction never starves
+// foreground I/O.
+const TagRebuild IOTag = 0xFE
+
 // Backend is the flash transport under an FTL. The stock adapter
 // wraps a flashserver.Iface (ignoring tags); internal/volume supplies
 // a backend that routes each tag through a QoS class of the request

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/flashctl"
 	"repro/internal/flashserver"
 	"repro/internal/nand"
 )
@@ -131,6 +132,12 @@ type FTL struct {
 	GCMoves       int64
 	GCAborts      int64
 	BadBlocks     int64
+
+	// fault stats
+	ReadFaults         int64 // host reads completed with an error (any cause)
+	UncorrectableReads int64 // host reads failed by ECC: data unrecoverable
+	GCReadFaults       int64 // relocation reads that failed mid-collection
+	LostPages          int64 // mappings dropped because their page was unreadable
 }
 
 // New builds an FTL over a flashserver interface with the given card
@@ -287,6 +294,12 @@ func (f *FTL) doRead(lpn int, tag IOTag, cb func(data []byte, err error)) {
 	f.blocks[blk].reads++
 	f.io.ReadPage(f.addrOf(ppn), tag, func(data []byte, err error) {
 		f.blocks[blk].reads--
+		if err != nil {
+			f.ReadFaults++
+			if errors.Is(err, flashctl.ErrUncorrectable) {
+				f.UncorrectableReads++
+			}
+		}
 		f.maybeErase()
 		cb(data, err)
 	})
@@ -747,12 +760,14 @@ func (f *FTL) relocate(ppn int) {
 	lpn := f.p2l[ppn]
 	f.io.ReadPage(f.addrOf(ppn), TagGC, func(data []byte, err error) {
 		if err != nil {
-			// Unreadable during GC: drop the mapping (data loss would be
-			// surfaced by ECC in the read path; here the page was
-			// already read once by the host if it mattered).
+			// Unreadable during GC: drop the mapping and count the loss
+			// so the layer above (volume mirroring, scrubbing) can see
+			// it — a mirrored volume repairs the page from its replica.
+			f.GCReadFaults++
 			f.invalidate(ppn)
 			if lpn >= 0 && f.l2p[lpn] == ppn {
 				f.l2p[lpn] = -1
+				f.LostPages++
 			}
 			st.inflight--
 			f.pumpGC()

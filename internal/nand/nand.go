@@ -25,6 +25,10 @@ var (
 	ErrReadFree      = errors.New("nand: reading an unwritten page")
 	ErrBadAddress    = errors.New("nand: address out of range")
 	ErrWrongDataSize = errors.New("nand: stored image has wrong size")
+	// ErrDead reports an operation against a failed card (Fail). It is
+	// the whole-card fault domain: every layer above classifies it as a
+	// storage fault and fails over to a replica where one exists.
+	ErrDead = errors.New("nand: card failed")
 )
 
 // Geometry describes one flash card.
@@ -100,6 +104,10 @@ type Reliability struct {
 	WearOutProb     float64
 	// FactoryBadBlockProb marks blocks bad at manufacture time.
 	FactoryBadBlockProb float64
+	// ReadDisturb scales the bit-error rate with the number of reads a
+	// block has absorbed since its last erase (read-disturb noise):
+	// rate *= 1 + ReadDisturb*readsSinceErase. 0 disables it.
+	ReadDisturb float64
 }
 
 // DefaultReliability returns MLC-flash-like numbers, scaled so that
@@ -139,6 +147,12 @@ type Card struct {
 	tim  Timing
 	rel  Reliability
 	rng  *sim.RNG
+	// noiseSeed keys the stateless bit-error injector. It is separate
+	// from rng (which drives factory bad blocks and wear-out) so that
+	// read-path noise never perturbs — and is never perturbed by —
+	// lifecycle randomness.
+	noiseSeed uint64
+	failed    bool // whole-card fault domain; see Fail
 
 	buses []*busState
 	chips []*chipState // bus-major order
@@ -161,7 +175,8 @@ type chipState struct {
 	running    bool
 	eraseCount []int64
 	bad        []bool
-	nextPage   []int // next programmable page index per block
+	nextPage   []int   // next programmable page index per block
+	readSerial []int64 // reads since last erase, per block (injector state)
 }
 
 // NewCard builds a card. seed drives error injection; identical seeds
@@ -171,14 +186,15 @@ func NewCard(eng *sim.Engine, name string, geo Geometry, tim Timing, rel Reliabi
 		return nil, err
 	}
 	c := &Card{
-		eng:   eng,
-		name:  name,
-		geo:   geo,
-		tim:   tim,
-		rel:   rel,
-		rng:   sim.NewRNG(seed),
-		data:  make([][]byte, geo.TotalPages()),
-		state: make([]PageState, geo.TotalPages()),
+		eng:       eng,
+		name:      name,
+		geo:       geo,
+		tim:       tim,
+		rel:       rel,
+		rng:       sim.NewRNG(seed),
+		noiseSeed: mix64(seed ^ 0xb10eddb4bade5eed),
+		data:      make([][]byte, geo.TotalPages()),
+		state:     make([]PageState, geo.TotalPages()),
 	}
 	for b := 0; b < geo.Buses; b++ {
 		c.buses = append(c.buses, &busState{
@@ -189,6 +205,7 @@ func NewCard(eng *sim.Engine, name string, geo Geometry, tim Timing, rel Reliabi
 				eraseCount: make([]int64, geo.BlocksPerChip),
 				bad:        make([]bool, geo.BlocksPerChip),
 				nextPage:   make([]int, geo.BlocksPerChip),
+				readSerial: make([]int64, geo.BlocksPerChip),
 			}
 			for blk := 0; blk < geo.BlocksPerChip; blk++ {
 				if c.rng.Float64() < rel.FactoryBadBlockProb {
@@ -287,6 +304,11 @@ func (c *Card) ReadPage(a Addr, cb func(raw []byte, err error)) {
 	}
 	cs := c.chipAt(a)
 	c.enqueue(cs, func(done func()) {
+		if c.failed {
+			done()
+			cb(nil, fmt.Errorf("%w: %s", ErrDead, c.name))
+			return
+		}
 		if cs.bad[a.Block] {
 			done()
 			cb(nil, fmt.Errorf("%w: %v", ErrBadBlock, a))
@@ -301,7 +323,11 @@ func (c *Card) ReadPage(a Addr, cb func(raw []byte, err error)) {
 		c.Reads.Inc()
 		c.eng.After(c.tim.ReadPage, func() {
 			done() // register drained into cache; chip can start next op
-			raw := c.corrupt(c.data[idx], cs.eraseCount[a.Block])
+			raw := make([]byte, len(c.data[idx]))
+			copy(raw, c.data[idx])
+			serial := cs.readSerial[a.Block]
+			cs.readSerial[a.Block]++
+			c.corrupt(raw, c.globalBlock(a), cs.eraseCount[a.Block], serial)
 			c.buses[a.Bus].pipe.Transfer(len(raw), func() {
 				cb(raw, nil)
 			})
@@ -324,6 +350,11 @@ func (c *Card) ProgramPage(a Addr, raw []byte, cb func(err error)) {
 	}
 	cs := c.chipAt(a)
 	c.enqueue(cs, func(done func()) {
+		if c.failed {
+			done()
+			cb(fmt.Errorf("%w: %s", ErrDead, c.name))
+			return
+		}
 		if cs.bad[a.Block] {
 			done()
 			cb(fmt.Errorf("%w: %v", ErrBadBlock, a))
@@ -364,6 +395,11 @@ func (c *Card) EraseBlock(a Addr, cb func(err error)) {
 	}
 	cs := c.chipAt(a)
 	c.enqueue(cs, func(done func()) {
+		if c.failed {
+			done()
+			cb(fmt.Errorf("%w: %s", ErrDead, c.name))
+			return
+		}
 		if cs.bad[a.Block] {
 			done()
 			cb(fmt.Errorf("%w: %v", ErrBadBlock, a))
@@ -384,36 +420,96 @@ func (c *Card) EraseBlock(a Addr, cb func(err error)) {
 				c.data[base+p] = nil
 			}
 			cs.nextPage[a.Block] = 0
+			cs.readSerial[a.Block] = 0
 			done()
 			cb(nil)
 		})
 	})
 }
 
-// corrupt returns a copy of raw with wear-dependent random bit flips.
-func (c *Card) corrupt(raw []byte, eraseCount int64) []byte {
-	out := make([]byte, len(raw))
-	copy(out, raw)
+// mix64 is the splitmix64 finalizer (the same mixing sim.RNG applies):
+// a stateless hash that decorrelates the injector's draw streams.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// globalBlock returns the card-wide index of an address's erase block.
+func (c *Card) globalBlock(a Addr) int {
+	return (a.Bus*c.geo.ChipsPerBus+a.Chip)*c.geo.BlocksPerChip + a.Block
+}
+
+// corrupt injects wear-dependent bit flips into out (a private copy of
+// the stored image) for the serial-th read of a block since its last
+// erase. The flip pattern is a pure function of (card seed, block,
+// erase count, read serial): each block carries its own error state, so
+// a block's noise history depends only on its own wear and read count —
+// never on how reads to other blocks, chips or cards interleave with it.
+//
+//simlint:hotpath
+func (c *Card) corrupt(out []byte, gblk int, eraseCount, serial int64) {
 	rate := c.rel.BitErrorRate
+	if rate <= 0 {
+		return
+	}
 	if c.rel.EnduranceCycles > 0 {
 		rate *= 1 + float64(eraseCount)/float64(c.rel.EnduranceCycles)
 	}
-	if rate <= 0 {
-		return out
+	if c.rel.ReadDisturb > 0 {
+		rate *= 1 + c.rel.ReadDisturb*float64(serial)
 	}
-	bits := len(raw) * 8
+	bits := len(out) * 8
 	mean := rate * float64(bits)
+	// Per-(block, erase, read) stateless splitmix stream.
+	s := c.noiseSeed ^ mix64(uint64(gblk)*0x9e3779b97f4a7c15+1)
+	s ^= mix64(uint64(eraseCount)*0xd1342543de82ef95 + 0x2545f4914f6cdd1d)
+	s += uint64(serial) * 0x9e3779b97f4a7c15
 	// Cheap Poisson-ish sampling: integer part plus Bernoulli remainder.
+	s += 0x9e3779b97f4a7c15
 	flips := int(mean)
-	if c.rng.Float64() < mean-float64(flips) {
+	if float64(mix64(s)>>11)/(1<<53) < mean-float64(flips) {
 		flips++
 	}
 	for i := 0; i < flips; i++ {
-		pos := c.rng.Intn(bits)
+		s += 0x9e3779b97f4a7c15
+		pos := int(mix64(s) % uint64(bits))
 		out[pos/8] ^= 1 << uint(pos%8)
 		c.InjectedFlips.Inc()
 	}
-	return out
+}
+
+// Fail marks the whole card dead: every subsequent operation — and
+// every operation still queued behind the failure point — completes
+// with ErrDead. In-flight cell/bus activity that already passed its
+// fault check finishes normally, the way a yanked card's last DMA
+// drains. Fail models the card-level fault domain (a controller brick,
+// a pulled board); block-level media failure is MarkBad/wear-out.
+func (c *Card) Fail() { c.failed = true }
+
+// Failed reports whether the card is dead.
+func (c *Card) Failed() bool { return c.failed }
+
+// Replace swaps in a fresh, blank card of identical geometry: all
+// pages free, zero wear, no bad blocks, injector state reset. The
+// replacement card keeps the same identity (name, seed, attached
+// controller), mirroring a field swap of the flash board. Callers
+// should replace only after the dead card's queued operations have
+// drained (they complete with ErrDead in virtual time).
+func (c *Card) Replace() {
+	c.failed = false
+	for i := range c.data {
+		c.data[i] = nil
+		c.state[i] = PageFree
+	}
+	for _, cs := range c.chips {
+		for b := range cs.eraseCount {
+			cs.eraseCount[b] = 0
+			cs.bad[b] = false
+			cs.nextPage[b] = 0
+			cs.readSerial[b] = 0
+		}
+	}
 }
 
 // IsBad reports whether a block is marked bad.

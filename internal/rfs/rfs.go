@@ -163,6 +163,10 @@ type FS struct {
 	PagesRead    int64
 	CleanMoves   int64
 	SegsCleaned  int64
+
+	// fault stats
+	CleanReadFaults int64 // cleaner reads that failed (uncorrectable or dead flash)
+	LostPages       int64 // file pages dropped because their data was unreadable
 }
 
 // New builds a file system on a single card's flashserver interface
@@ -730,11 +734,14 @@ func (fs *FS) moveOne(st *cleanState, ppn int, ref fileRef) {
 		if err != nil {
 			// Unreadable during cleaning: drop the mapping — but only if
 			// it still points here (the file may have been removed while
-			// the read was in flight).
+			// the read was in flight) — and count the loss so it is
+			// visible to scrubbing and repair layers instead of silent.
+			fs.CleanReadFaults++
 			if cur, ok := fs.backrefs[ppn]; ok && cur == ref {
 				fs.invalidate(ppn)
 				if nd := fs.inodes[ref.ino]; nd.live && ref.page < len(nd.pages) && nd.pages[ref.page] == ppn {
 					nd.pages[ref.page] = -1
+					fs.LostPages++
 				}
 			}
 			st.busy = false

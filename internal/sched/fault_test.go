@@ -1,0 +1,61 @@
+package sched_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nand"
+	"repro/internal/sched"
+)
+
+// TestDeadCardErrorPropagates: a flash fault below the scheduler must
+// reach the stream's completion as the typed device error — admitted,
+// dispatched, and completed like any other request, never swallowed or
+// turned into a hang. This is the sched link of the stack-wide error
+// contract (nand -> flashctl -> core -> sched -> volume).
+func TestDeadCardErrorPropagates(t *testing.T) {
+	c := testCluster(t, 1, 64)
+	s, err := sched.New(c, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.NewStream("t", 0, sched.Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: the page reads fine while the card is alive.
+	addr := core.LinearPage(c.Params, 0, 3)
+	alive := errors.New("not completed")
+	if err := st.Read(addr, func(_ []byte, err error) { alive = err }); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if alive != nil {
+		t.Fatalf("healthy read failed: %v", alive)
+	}
+
+	c.Node(0).Card(addr.Card).Fail()
+	done := 0
+	for i := 0; i < 8; i++ {
+		a := core.LinearPage(c.Params, 0, i)
+		if err := st.Read(a, func(_ []byte, err error) {
+			done++
+			if !errors.Is(err, nand.ErrDead) {
+				t.Errorf("read %v on dead card: err = %v, want nand.ErrDead", a, err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run()
+	if done != 8 {
+		t.Fatalf("%d of 8 reads completed on the dead card; the rest were dropped", done)
+	}
+	// The failures still count as completed scheduler work: they were
+	// admitted and dispatched; only the device outcome differs.
+	if ops := s.Snapshot().TotalOps; ops < 9 {
+		t.Fatalf("scheduler counted %d ops, want >= 9", ops)
+	}
+}

@@ -1,0 +1,480 @@
+package volume
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ftl"
+)
+
+// Cross-node mirroring (ROADMAP item 2b, paper §4's storage manager
+// grown a fault domain). Placement: card i's logical space is split in
+// half — the lower half holds the card's own primary pages, the upper
+// half holds replicas of its partner's primaries. The partner of card
+// i is the same card slot on the next node (i + CardsPerNode, mod
+// cluster), so the two copies of every page always live on different
+// nodes and a whole-node loss leaves one copy of everything.
+//
+// Writes fan out to both copies at the stream's QoS class. Reads go to
+// the primary and fail over to the replica when the primary is dead,
+// still rebuilding, or returns an error (uncorrectable ECC being the
+// interesting case). A replaced card is refilled by a rebuild pump
+// running on the Background class under the same urgency-token gate as
+// GC: the volume pushes a rebuild urgency floor at the nodes involved
+// so the scheduler grants Background enough tokens to make progress,
+// and reconstruction competes like any other deferred work instead of
+// starving realtime.
+
+// Volume mirroring errors.
+var (
+	ErrNotMirrored = errors.New("volume: not a mirrored volume")
+	ErrCardAlive   = errors.New("volume: card has not been killed")
+)
+
+// partner returns the card holding replicas of cd's primary pages.
+func (v *Volume) partner(cd *card) *card {
+	return v.cards[(cd.gidx+v.c.Params.CardsPerNode)%len(v.cards)]
+}
+
+// replicaSource returns the card whose primary pages are replicated
+// onto cd's upper half (the inverse of partner).
+func (v *Volume) replicaSource(cd *card) *card {
+	n := len(v.cards)
+	return v.cards[(cd.gidx-v.c.Params.CardsPerNode+n)%n]
+}
+
+// replicaOf maps a primary (card, clpn) to the replica's location.
+func (v *Volume) replicaOf(cd *card, clpn int) (*card, int) {
+	return v.partner(cd), clpn + v.half
+}
+
+// available reports whether a copy on this card can serve reads: the
+// card is alive and, during a rebuild, the page has been made current
+// again (by the pump or by a fresh write).
+func (cd *card) available(clpn int) bool {
+	if cd.dead {
+		return false
+	}
+	if cd.rebuilding && !cd.rebuilt[clpn] {
+		return false
+	}
+	return true
+}
+
+// --- read fail-over ---------------------------------------------------
+
+// failover is the pooled context of one mirrored read: it remembers
+// where the replica lives so the primary's completion can retry there
+// without allocating per-read closures (same recycling pattern as the
+// scheduler's request pool).
+type failover struct {
+	v      *Volume
+	rep    *card
+	rclpn  int
+	tag    ftl.IOTag
+	useRep bool // replica is available as a fallback
+	cb     func(data []byte, err error)
+
+	// bound once at pool entry creation, reused forever
+	onPrimary func(data []byte, err error)
+	onReplica func(data []byte, err error)
+}
+
+// getFailover pops a recycled fail-over context (or allocates one,
+// binding its reusable callbacks).
+//
+//simlint:hotpath
+func (v *Volume) getFailover() *failover {
+	if n := len(v.freeFOs); n > 0 {
+		fo := v.freeFOs[n-1]
+		v.freeFOs[n-1] = nil
+		v.freeFOs = v.freeFOs[:n-1]
+		return fo
+	}
+	//simlint:allow hotpath (pool-miss path: the context and its two bound callbacks are built once and recycled via putFailover forever after)
+	fo := &failover{v: v}
+	//simlint:allow hotpath (bound once per pooled context lifetime, not per read)
+	fo.onPrimary = func(data []byte, err error) {
+		if err == nil || !fo.useRep {
+			cb := fo.cb
+			fo.v.putFailover(fo)
+			cb(data, err)
+			return
+		}
+		// Primary failed with a live replica: retry there.
+		fo.rep.f.ReadTagged(fo.rclpn, fo.tag, fo.onReplica)
+	}
+	//simlint:allow hotpath (bound once per pooled context lifetime, not per read)
+	fo.onReplica = func(data []byte, err error) {
+		if err == nil {
+			fo.v.degradedReads++
+		}
+		cb := fo.cb
+		fo.v.putFailover(fo)
+		cb(data, err)
+	}
+	return fo
+}
+
+// putFailover recycles a finished context. The caller must guarantee
+// no outstanding reference (its completion has fired).
+//
+//simlint:hotpath
+func (v *Volume) putFailover(fo *failover) {
+	fo.rep = nil
+	fo.cb = nil
+	fo.useRep = false
+	v.freeFOs = append(v.freeFOs, fo)
+}
+
+// readMirrored serves a logical read on a mirrored volume: primary
+// first, replica on failure, straight to the replica when the primary
+// copy is known-unavailable.
+//
+//simlint:hotpath
+func (v *Volume) readMirrored(lpn int, tag ftl.IOTag, cb func(data []byte, err error)) {
+	pri, clpn := v.locate(lpn)
+	rep, rclpn := v.replicaOf(pri, clpn)
+	priOK := pri.available(clpn)
+	repOK := rep.available(rclpn)
+	switch {
+	case priOK && repOK:
+		fo := v.getFailover()
+		fo.rep, fo.rclpn, fo.tag, fo.useRep, fo.cb = rep, rclpn, tag, true, cb
+		pri.f.ReadTagged(clpn, tag, fo.onPrimary)
+	case priOK:
+		// No fallback: serve the primary plainly.
+		pri.f.ReadTagged(clpn, tag, cb)
+	case repOK:
+		// Degraded read: the replica is the only live copy.
+		fo := v.getFailover()
+		fo.rep, fo.rclpn, fo.tag, fo.cb = rep, rclpn, tag, cb
+		rep.f.ReadTagged(rclpn, tag, fo.onReplica)
+	default:
+		// Both copies down (double fault): let the primary report it.
+		pri.f.ReadTagged(clpn, tag, cb)
+	}
+}
+
+// --- mirrored writes --------------------------------------------------
+
+// mirrorWrite tracks one fan-out: the caller's callback fires once
+// both copies complete, succeeding if at least one copy landed.
+type mirrorWrite struct {
+	v         *Volume
+	remaining int
+	failed    int
+	firstErr  error
+	cb        func(error)
+}
+
+func (mw *mirrorWrite) done(err error) {
+	if err != nil {
+		mw.failed++
+		if mw.firstErr == nil {
+			mw.firstErr = err
+		}
+	}
+	mw.remaining--
+	if mw.remaining > 0 {
+		return
+	}
+	switch mw.failed {
+	case 0:
+		mw.cb(nil)
+	case 1:
+		mw.v.degradedWrites++
+		mw.cb(nil)
+	default:
+		mw.cb(fmt.Errorf("volume: both copies failed: %w", mw.firstErr))
+	}
+}
+
+// writeMirrored fans a logical write out to the primary and replica at
+// the stream's class.
+func (v *Volume) writeMirrored(lpn int, data []byte, tag ftl.IOTag, cb func(err error)) {
+	pri, clpn := v.locate(lpn)
+	rep, rclpn := v.replicaOf(pri, clpn)
+	mw := &mirrorWrite{v: v, remaining: 2, cb: cb}
+	v.writeCopy(pri, clpn, data, tag, mw.done)
+	v.writeCopy(rep, rclpn, data, tag, mw.done)
+}
+
+// deferredWrite is a tenant write parked behind an in-flight rebuild
+// copy of the same page: letting it race the pump's copy could leave
+// the stale rebuild image as the final mapping.
+type deferredWrite struct {
+	clpn int
+	data []byte
+	tag  ftl.IOTag
+	cb   func(error)
+}
+
+// writeCopy issues one copy of a mirrored write, maintaining rebuild
+// bookkeeping: a write to a rebuilding card makes that page current
+// (the pump skips it), and a write colliding with an in-flight pump
+// copy is deferred until the copy completes.
+func (v *Volume) writeCopy(cd *card, clpn int, data []byte, tag ftl.IOTag, cb func(error)) {
+	if cd.rebuilding {
+		if cd.copyInFlight(clpn) {
+			buf := make([]byte, len(data))
+			copy(buf, data)
+			cd.deferred = append(cd.deferred, deferredWrite{clpn: clpn, data: buf, tag: tag, cb: cb})
+			return
+		}
+		cd.rebuilt[clpn] = true
+	}
+	cd.f.WriteTagged(clpn, data, tag, cb)
+}
+
+func (cd *card) copyInFlight(clpn int) bool {
+	for _, c := range cd.inflight {
+		if c == clpn {
+			return true
+		}
+	}
+	return false
+}
+
+// --- failure and rebuild ----------------------------------------------
+
+// KillCard fails one card (node-major index): the NAND card rejects
+// all further operations with nand.ErrDead and the volume routes reads
+// to the replica. Mirrored volumes only.
+func (v *Volume) KillCard(i int) error {
+	if !v.cfg.Mirror {
+		return ErrNotMirrored
+	}
+	cd := v.cards[i]
+	cd.dead = true
+	v.c.Node(cd.node).Card(cd.idx).Fail()
+	return nil
+}
+
+// KillNode fails every card of one node — the whole-appliance fault
+// the mirror placement is designed to survive.
+func (v *Volume) KillNode(node int) error {
+	if !v.cfg.Mirror {
+		return ErrNotMirrored
+	}
+	base := node * v.c.Params.CardsPerNode
+	for i := base; i < base+v.c.Params.CardsPerNode; i++ {
+		if err := v.KillCard(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplaceCard swaps a killed card for a blank replacement: the NAND
+// card is reset, a fresh FTL is built over it, and the card enters the
+// rebuilding state (reads route to the partner until each page is
+// restored). Call StartRebuild to begin refilling it.
+func (v *Volume) ReplaceCard(i int) error {
+	if !v.cfg.Mirror {
+		return ErrNotMirrored
+	}
+	cd := v.cards[i]
+	if !cd.dead {
+		return ErrCardAlive
+	}
+	v.c.Node(cd.node).Card(cd.idx).Replace()
+	f, err := ftl.NewWithBackend(cd, v.c.Params.Geometry, v.cfg.FTL)
+	if err != nil {
+		return err
+	}
+	cd.f = f
+	f.SetHooks(ftl.Hooks{
+		Urgency: func(float64) { cd.pushUrgency() },
+		GCStart: func() { cd.pushUrgency() },
+		GCEnd:   func() { cd.pushUrgency() },
+	})
+	cd.dead = false
+	cd.rebuilding = true
+	if cd.rebuilt == nil {
+		cd.rebuilt = make([]bool, v.perCard)
+	} else {
+		for p := range cd.rebuilt {
+			cd.rebuilt[p] = false
+		}
+	}
+	cd.rebuildNext = 0
+	cd.inflight = cd.inflight[:0]
+	cd.deferred = cd.deferred[:0]
+	return nil
+}
+
+// StartRebuild refills a replaced card from the surviving copies: its
+// own primaries from the partner's replica half, and the replicas it
+// hosts from their primaries. The pump keeps RebuildDepth copies in
+// flight on the Background class (TagRebuild) and calls done when the
+// whole card is current. Pages never written are skipped; pages whose
+// only surviving copy is unreadable are lost and counted.
+func (v *Volume) StartRebuild(i int, done func()) error {
+	if !v.cfg.Mirror {
+		return ErrNotMirrored
+	}
+	cd := v.cards[i]
+	if !cd.rebuilding {
+		return fmt.Errorf("volume: card %d is not rebuilding (call ReplaceCard first)", i)
+	}
+	cd.rebuildDone = done
+	v.pushRebuildUrgency()
+	v.pumpRebuild(cd)
+	return nil
+}
+
+// RebuildNode replaces and rebuilds every card of a killed node,
+// calling done when all of them are current.
+func (v *Volume) RebuildNode(node int, done func()) error {
+	base := node * v.c.Params.CardsPerNode
+	n := v.c.Params.CardsPerNode
+	for i := base; i < base+n; i++ {
+		if err := v.ReplaceCard(i); err != nil {
+			return err
+		}
+	}
+	remaining := n
+	for i := base; i < base+n; i++ {
+		if err := v.StartRebuild(i, func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rebuilding reports whether any card is still being refilled.
+func (v *Volume) Rebuilding() bool {
+	for _, cd := range v.cards {
+		if cd.rebuilding {
+			return true
+		}
+	}
+	return false
+}
+
+// pushRebuildUrgency recomputes the per-node urgency floors from the
+// set of active rebuilds (each involves the rebuilding card's node and
+// both partner nodes) and pushes them to the scheduler.
+func (v *Volume) pushRebuildUrgency() {
+	for n := range v.rebuildUrg {
+		v.rebuildUrg[n] = 0
+	}
+	for _, cd := range v.cards {
+		if !cd.rebuilding {
+			continue
+		}
+		for _, n := range [3]int{cd.node, v.partner(cd).node, v.replicaSource(cd).node} {
+			if v.rebuildUrg[n] < v.cfg.RebuildUrgency {
+				v.rebuildUrg[n] = v.cfg.RebuildUrgency
+			}
+		}
+	}
+	// One push per node is enough; use the node's first card.
+	for n := 0; n < v.c.Nodes(); n++ {
+		v.cards[n*v.c.Params.CardsPerNode].pushUrgency()
+	}
+}
+
+// rebuildSource maps a page of the rebuilding card to its surviving
+// copy: primaries (lower half) live in the partner's replica half,
+// hosted replicas (upper half) live at their owner's primary slot.
+func (v *Volume) rebuildSource(cd *card, clpn int) (*card, int) {
+	if clpn < v.half {
+		return v.partner(cd), clpn + v.half
+	}
+	return v.replicaSource(cd), clpn - v.half
+}
+
+// pumpRebuild tops the rebuild window back up to RebuildDepth
+// in-flight copies and detects completion.
+func (v *Volume) pumpRebuild(cd *card) {
+	if !cd.rebuilding {
+		return
+	}
+	for len(cd.inflight) < v.cfg.RebuildDepth && cd.rebuildNext < v.perCard {
+		clpn := cd.rebuildNext
+		cd.rebuildNext++
+		if cd.rebuilt[clpn] {
+			continue // a tenant write already made this page current
+		}
+		src, sclpn := v.rebuildSource(cd, clpn)
+		cd.inflight = append(cd.inflight, clpn)
+		v.copyPage(cd, clpn, src, sclpn)
+	}
+	// Re-check rebuilding: an unmapped page completes synchronously, so
+	// a nested pump call may already have finished the rebuild.
+	if cd.rebuilding && len(cd.inflight) == 0 && cd.rebuildNext >= v.perCard {
+		v.finishRebuild(cd)
+	}
+}
+
+// copyPage restores one page: read the survivor, write the
+// replacement, both on TagRebuild (Background class).
+func (v *Volume) copyPage(cd *card, clpn int, src *card, sclpn int) {
+	src.f.ReadTagged(sclpn, ftl.TagRebuild, func(data []byte, err error) {
+		if err != nil {
+			// Never written (unmapped) — nothing to restore — or the
+			// surviving copy itself is unreadable: the page is gone
+			// (already counted by the source FTL's fault counters).
+			v.completeCopy(cd, clpn)
+			return
+		}
+		if cd.rebuilt[clpn] {
+			// A tenant write landed after our read was issued but
+			// before we checked in-flight state; its data is newer.
+			v.completeCopy(cd, clpn)
+			return
+		}
+		cd.f.WriteTagged(clpn, data, ftl.TagRebuild, func(werr error) {
+			if werr == nil {
+				v.pagesRebuilt++
+			}
+			v.completeCopy(cd, clpn)
+		})
+	})
+}
+
+// completeCopy retires one in-flight copy: marks the page current,
+// flushes tenant writes parked behind it, and refills the window.
+func (v *Volume) completeCopy(cd *card, clpn int) {
+	for j, c := range cd.inflight {
+		if c == clpn {
+			cd.inflight[j] = cd.inflight[len(cd.inflight)-1]
+			cd.inflight = cd.inflight[:len(cd.inflight)-1]
+			break
+		}
+	}
+	cd.rebuilt[clpn] = true
+	// Flush deferred tenant writes for this page in arrival order.
+	kept := cd.deferred[:0]
+	var flush []deferredWrite
+	for _, dw := range cd.deferred {
+		if dw.clpn == clpn {
+			flush = append(flush, dw)
+		} else {
+			kept = append(kept, dw)
+		}
+	}
+	cd.deferred = kept
+	for _, dw := range flush {
+		cd.f.WriteTagged(dw.clpn, dw.data, dw.tag, dw.cb)
+	}
+	v.pumpRebuild(cd)
+}
+
+// finishRebuild marks the card current and releases the urgency floor.
+func (v *Volume) finishRebuild(cd *card) {
+	cd.rebuilding = false
+	done := cd.rebuildDone
+	cd.rebuildDone = nil
+	v.pushRebuildUrgency()
+	if done != nil {
+		done()
+	}
+}

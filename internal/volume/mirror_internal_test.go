@@ -1,0 +1,21 @@
+package volume
+
+import "testing"
+
+// TestFailoverPoolAllocFree pins the mirrored-read fail-over context
+// at zero steady-state allocations: one context is borrowed and
+// recycled per mirrored read, on the hot read path.
+func TestFailoverPoolAllocFree(t *testing.T) {
+	v := &Volume{}
+	// Prime the pool (first allocation binds the reusable callbacks).
+	v.putFailover(v.getFailover())
+	avg := testing.AllocsPerRun(200, func() {
+		fo := v.getFailover()
+		fo.useRep = true
+		fo.rclpn = 7
+		v.putFailover(fo)
+	})
+	if avg != 0 {
+		t.Fatalf("failover pool allocates %.1f per read, want 0", avg)
+	}
+}

@@ -1,0 +1,222 @@
+package volume_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/sched"
+	"repro/internal/volume"
+)
+
+// testMirrored builds a mirrored volume over a small multi-node
+// cluster.
+func testMirrored(t *testing.T, nodes int) (*core.Cluster, *sched.Scheduler, *volume.Volume) {
+	t.Helper()
+	p := core.DefaultParams(nodes)
+	p.Geometry.BlocksPerChip = 8
+	p.Geometry.PagesPerBlock = 8
+	c, err := core.NewCluster(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.New(c, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := volume.DefaultConfig()
+	vcfg.Mirror = true
+	v, err := volume.New(c, s, vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s, v
+}
+
+func TestMirrorNeedsTwoNodes(t *testing.T) {
+	p := core.DefaultParams(1)
+	c, err := core.NewCluster(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.New(c, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := volume.DefaultConfig()
+	vcfg.Mirror = true
+	if _, err := volume.New(c, s, vcfg); err == nil {
+		t.Fatal("mirrored volume on one node accepted")
+	}
+}
+
+// readAll fetches pages [0,n) and fails the test on any error or
+// mismatch against want(lpn).
+func readAll(t *testing.T, c *core.Cluster, st *volume.Stream, n int, want func(lpn int) []byte) {
+	t.Helper()
+	got := make([][]byte, n)
+	errs := make([]error, n)
+	for lpn := 0; lpn < n; lpn++ {
+		lpn := lpn
+		st.Read(lpn, func(data []byte, err error) {
+			got[lpn], errs[lpn] = data, err
+		})
+	}
+	c.Run()
+	for lpn := 0; lpn < n; lpn++ {
+		if errs[lpn] != nil {
+			t.Fatalf("read %d: %v", lpn, errs[lpn])
+		}
+		if !bytes.Equal(got[lpn], want(lpn)) {
+			t.Fatalf("read %d: wrong data", lpn)
+		}
+	}
+}
+
+// TestMirroredCrashDegradedRebuild is the crash test of the fault
+// domain work: write a mirrored volume, kill a whole node, verify
+// degraded reads and writes stay correct, rebuild the node, then kill
+// the OTHER node and verify every page — including pages updated while
+// degraded — reads back correctly from the rebuilt copies alone.
+func TestMirroredCrashDegradedRebuild(t *testing.T) {
+	c, _, v := testMirrored(t, 2)
+	st, err := v.NewStream("t", sched.Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 96
+	if n > v.Pages() {
+		n = v.Pages()
+	}
+	version := make([]int, n)
+	want := func(lpn int) []byte { return pageData(v.PageSize(), lpn^(version[lpn]<<8)) }
+
+	writeAll := func(lpns []int) {
+		t.Helper()
+		werrs := 0
+		for _, lpn := range lpns {
+			st.Write(lpn, want(lpn), func(err error) {
+				if err != nil {
+					t.Errorf("write: %v", err)
+					werrs++
+				}
+			})
+		}
+		c.Run()
+		if werrs > 0 {
+			t.Fatalf("%d write errors", werrs)
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	writeAll(all)
+	readAll(t, c, st, n, want)
+	base := v.Stats()
+
+	// Kill node 1: every page lost either its primary or its replica.
+	if err := v.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	// Degraded updates: overwrite a slice of pages with new versions.
+	updated := all[:n/3]
+	for _, lpn := range updated {
+		version[lpn]++
+	}
+	writeAll(updated)
+	readAll(t, c, st, n, want)
+	deg := v.Stats().Delta(base)
+	if deg.DegradedReads == 0 {
+		t.Fatal("no degraded reads recorded after node kill")
+	}
+	if deg.DegradedWrites == 0 {
+		t.Fatal("no degraded writes recorded after node kill")
+	}
+
+	// Rebuild node 1 and race more tenant updates against the pump.
+	rebuilt := false
+	if err := v.RebuildNode(1, func() { rebuilt = true }); err != nil {
+		t.Fatal(err)
+	}
+	racing := all[n/3 : n/2]
+	for _, lpn := range racing {
+		version[lpn]++
+		st.Write(lpn, want(lpn), func(err error) {
+			if err != nil {
+				t.Errorf("racing write: %v", err)
+			}
+		})
+	}
+	c.Run()
+	if !rebuilt {
+		t.Fatal("rebuild completion callback never fired")
+	}
+	if v.Rebuilding() {
+		t.Fatal("Rebuilding() still true after completion")
+	}
+	if d := v.Stats().Delta(base); d.PagesRebuilt == 0 {
+		t.Fatal("no pages rebuilt")
+	}
+	readAll(t, c, st, n, want)
+
+	// The acid test: kill the OTHER node. Every page must now be served
+	// from the copies node 1 holds — which only exist if the rebuild
+	// restored them (and didn't clobber the racing updates).
+	if err := v.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, c, st, n, want)
+}
+
+// TestMirroredCardKillAndReplace exercises the single-card fault path
+// (kill one card, not a node) including the not-killed guard.
+func TestMirroredCardKillAndReplace(t *testing.T) {
+	c, _, v := testMirrored(t, 2)
+	st, _ := v.NewStream("t", sched.Interactive)
+	n := 32
+	for lpn := 0; lpn < n; lpn++ {
+		st.Write(lpn, pageData(v.PageSize(), lpn), func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+		})
+	}
+	c.Run()
+
+	if err := v.ReplaceCard(0); !errors.Is(err, volume.ErrCardAlive) {
+		t.Fatalf("ReplaceCard on live card: err = %v, want ErrCardAlive", err)
+	}
+	if err := v.KillCard(0); err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, c, st, n, func(lpn int) []byte { return pageData(v.PageSize(), lpn) })
+	if v.Stats().DegradedReads == 0 {
+		t.Fatal("no degraded reads after card kill")
+	}
+	if err := v.ReplaceCard(0); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if err := v.StartRebuild(0, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if !done {
+		t.Fatal("card rebuild never completed")
+	}
+	readAll(t, c, st, n, func(lpn int) []byte { return pageData(v.PageSize(), lpn) })
+}
+
+// TestUnmirroredKillRejected: fault injection APIs require mirroring.
+func TestUnmirroredKillRejected(t *testing.T) {
+	_, _, v := testVolume(t, 2, ftl.DefaultConfig())
+	if err := v.KillCard(0); !errors.Is(err, volume.ErrNotMirrored) {
+		t.Fatalf("KillCard on unmirrored volume: err = %v, want ErrNotMirrored", err)
+	}
+	if err := v.KillNode(0); !errors.Is(err, volume.ErrNotMirrored) {
+		t.Fatalf("KillNode on unmirrored volume: err = %v, want ErrNotMirrored", err)
+	}
+}

@@ -25,6 +25,7 @@ package volume
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/ftl"
@@ -43,6 +44,21 @@ type Config struct {
 	// RetryDelay is the backoff before re-admitting an op that hit
 	// scheduler backpressure (default 5 µs).
 	RetryDelay sim.Time
+	// Mirror enables cross-node replication: every logical page keeps
+	// a primary and a replica on cards of different nodes, writes fan
+	// out to both at the stream's class, reads fail over to the
+	// survivor when the primary is dead or uncorrectable, and a
+	// replaced card is rebuilt from its partners on the Background
+	// class. Requires at least two nodes and halves the logical space.
+	Mirror bool
+	// RebuildDepth bounds the rebuild pump's in-flight page copies
+	// (default 8).
+	RebuildDepth int
+	// RebuildUrgency is the GC-urgency floor pushed at the nodes a
+	// rebuild touches while it runs, so the scheduler grants the
+	// Background class enough tokens to make progress without letting
+	// reconstruction starve latency classes (default 0.5).
+	RebuildUrgency float64
 }
 
 // DefaultConfig returns the standard volume configuration.
@@ -58,6 +74,14 @@ type Volume struct {
 
 	cards   []*card // node-major: node*CardsPerNode + card
 	perCard int     // logical pages per card FTL
+	half    int     // mirrored: primary pages per card (perCard/2)
+
+	// mirroring state (see mirror.go)
+	rebuildUrg     []float64   // per-node urgency floor while rebuilds run
+	freeFOs        []*failover // read fail-over context recycle pool
+	degradedReads  int64
+	degradedWrites int64
+	pagesRebuilt   int64
 }
 
 // New builds a volume over cluster c, admitting all flash traffic
@@ -65,6 +89,17 @@ type Volume struct {
 func New(c *core.Cluster, s *sched.Scheduler, cfg Config) (*Volume, error) {
 	if cfg.RetryDelay <= 0 {
 		cfg.RetryDelay = 5 * sim.Microsecond
+	}
+	if cfg.Mirror {
+		if c.Nodes() < 2 {
+			return nil, errors.New("volume: mirroring needs at least two nodes")
+		}
+		if cfg.RebuildDepth <= 0 {
+			cfg.RebuildDepth = 8
+		}
+		if cfg.RebuildUrgency <= 0 {
+			cfg.RebuildUrgency = 0.5
+		}
 	}
 	v := &Volume{c: c, s: s, cfg: cfg}
 	p := c.Params
@@ -78,11 +113,20 @@ func New(c *core.Cluster, s *sched.Scheduler, cfg Config) (*Volume, error) {
 		}
 	}
 	v.perCard = v.cards[0].f.LogicalPages()
+	v.half = v.perCard / 2
+	v.rebuildUrg = make([]float64, c.Nodes())
 	return v, nil
 }
 
-// Pages returns the number of logical pages the volume exposes.
-func (v *Volume) Pages() int { return v.perCard * len(v.cards) }
+// Pages returns the number of logical pages the volume exposes. A
+// mirrored volume exposes half the raw logical space: each card's
+// lower half holds primaries, its upper half replicas of its partner.
+func (v *Volume) Pages() int {
+	if v.cfg.Mirror {
+		return v.half * len(v.cards)
+	}
+	return v.perCard * len(v.cards)
+}
 
 // PageSize returns the volume's page size.
 func (v *Volume) PageSize() int { return v.c.Params.PageSize() }
@@ -96,7 +140,10 @@ func (v *Volume) locate(lpn int) (*card, int) {
 	return v.cards[lpn%n], lpn / n
 }
 
-// Stats aggregates the per-card FTL counters.
+// Stats aggregates the per-card FTL counters plus the volume's fault
+// and repair counters. The fault fields carry omitempty so a
+// failure-free run exports byte-identical JSON to the pre-fault-domain
+// stats.
 type Stats struct {
 	HostReads     int64   `json:"host_reads"`
 	HostWrites    int64   `json:"host_writes"`
@@ -108,6 +155,24 @@ type Stats struct {
 	BadBlocks     int64   `json:"bad_blocks"`
 	WriteAmp      float64 `json:"write_amplification"`
 	MinFreeBlocks int     `json:"min_free_blocks"`
+
+	// fault and repair counters
+	CorrectedBits      int64 `json:"corrected_bits,omitempty"`      // single-bit flips repaired by controller ECC
+	UncorrectableReads int64 `json:"uncorrectable_reads,omitempty"` // host reads failed by ECC
+	ReadFaults         int64 `json:"read_faults,omitempty"`         // host reads completed with any error
+	LostPages          int64 `json:"lost_pages,omitempty"`          // mappings dropped on unreadable pages
+	DegradedReads      int64 `json:"degraded_reads,omitempty"`      // reads served by the replica after primary loss
+	DegradedWrites     int64 `json:"degraded_writes,omitempty"`     // mirrored writes that reached only one copy
+	PagesRebuilt       int64 `json:"pages_rebuilt,omitempty"`       // pages restored by the rebuild pump
+}
+
+// finite clamps NaN and ±Inf to 0 so exported stats stay JSON-safe
+// (math.IsNaN/IsInf without the import).
+func finite(f float64) float64 {
+	if f != f || f > math.MaxFloat64 || f < -math.MaxFloat64 {
+		return 0
+	}
+	return f
 }
 
 // Delta returns the counters accumulated since a prior snapshot, with
@@ -125,9 +190,17 @@ func (s Stats) Delta(since Stats) Stats {
 		GCAborts:      s.GCAborts - since.GCAborts,
 		BadBlocks:     s.BadBlocks - since.BadBlocks,
 		MinFreeBlocks: s.MinFreeBlocks,
+
+		CorrectedBits:      s.CorrectedBits - since.CorrectedBits,
+		UncorrectableReads: s.UncorrectableReads - since.UncorrectableReads,
+		ReadFaults:         s.ReadFaults - since.ReadFaults,
+		LostPages:          s.LostPages - since.LostPages,
+		DegradedReads:      s.DegradedReads - since.DegradedReads,
+		DegradedWrites:     s.DegradedWrites - since.DegradedWrites,
+		PagesRebuilt:       s.PagesRebuilt - since.PagesRebuilt,
 	}
 	if d.HostWrites > 0 {
-		d.WriteAmp = float64(d.FlashPrograms) / float64(d.HostWrites)
+		d.WriteAmp = finite(float64(d.FlashPrograms) / float64(d.HostWrites))
 	}
 	return d
 }
@@ -146,12 +219,23 @@ func (v *Volume) Stats() Stats {
 		st.GCMoves += f.GCMoves
 		st.GCAborts += f.GCAborts
 		st.BadBlocks += f.BadBlocks
+		st.UncorrectableReads += f.UncorrectableReads
+		st.ReadFaults += f.ReadFaults
+		st.LostPages += f.LostPages
 		if st.MinFreeBlocks < 0 || f.FreeBlocks() < st.MinFreeBlocks {
 			st.MinFreeBlocks = f.FreeBlocks()
 		}
 	}
+	for n := 0; n < v.c.Nodes(); n++ {
+		for ci := 0; ci < v.c.Params.CardsPerNode; ci++ {
+			st.CorrectedBits += v.c.Node(n).Controller(ci).CorrectedBits.Value()
+		}
+	}
+	st.DegradedReads = v.degradedReads
+	st.DegradedWrites = v.degradedWrites
+	st.PagesRebuilt = v.pagesRebuilt
 	if st.HostWrites > 0 {
-		st.WriteAmp = float64(st.FlashPrograms) / float64(st.HostWrites)
+		st.WriteAmp = finite(float64(st.FlashPrograms) / float64(st.HostWrites))
 	}
 	return st
 }
@@ -200,9 +284,15 @@ func (st *Stream) PageSize() int { return st.v.PageSize() }
 // Read fetches a logical page. The callback fires when the page is in
 // host memory (or failed); scheduler backpressure is absorbed by
 // retrying, so unlike sched.Stream.Read there is no admission error.
+// On a mirrored volume a read whose primary copy is dead, rebuilding,
+// or uncorrectable fails over to the replica (see mirror.go).
 func (st *Stream) Read(lpn int, cb func(data []byte, err error)) {
 	if lpn < 0 || lpn >= st.v.Pages() {
 		cb(nil, fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	if st.v.cfg.Mirror {
+		st.v.readMirrored(lpn, ftl.IOTag(st.class), cb)
 		return
 	}
 	cd, clpn := st.v.locate(lpn)
@@ -210,10 +300,16 @@ func (st *Stream) Read(lpn int, cb func(data []byte, err error)) {
 }
 
 // Write stores a logical page. The payload is snapshotted before the
-// call returns.
+// call returns. On a mirrored volume the write fans out to both
+// copies at the stream's class; it succeeds if at least one copy
+// lands (the other is counted as a degraded write).
 func (st *Stream) Write(lpn int, data []byte, cb func(err error)) {
 	if lpn < 0 || lpn >= st.v.Pages() {
 		cb(fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	if st.v.cfg.Mirror {
+		st.v.writeMirrored(lpn, data, ftl.IOTag(st.class), cb)
 		return
 	}
 	cd, clpn := st.v.locate(lpn)
@@ -230,6 +326,14 @@ func (st *Stream) Trim(lpn int) error {
 		return fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
 	}
 	cd, clpn := st.v.locate(lpn)
+	if st.v.cfg.Mirror {
+		rep, rclpn := st.v.replicaOf(cd, clpn)
+		err := cd.f.Trim(clpn)
+		if rerr := rep.f.Trim(rclpn); err == nil {
+			err = rerr
+		}
+		return err
+	}
 	return cd.f.Trim(clpn)
 }
 
@@ -289,7 +393,17 @@ type card struct {
 	v    *Volume
 	node int
 	idx  int
+	gidx int // global node-major index into v.cards
 	f    *ftl.FTL
+
+	// mirroring fault state (see mirror.go)
+	dead        bool   // card failed; route reads to the partner
+	rebuilding  bool   // replacement card being refilled
+	rebuilt     []bool // per-clpn: page current again (pump copy or fresh write)
+	rebuildNext int    // next clpn the pump will scan
+	inflight    []int  // clpns with a pump copy in flight
+	deferred    []deferredWrite
+	rebuildDone func()
 
 	// streams holds one admission stream per QoS class; FTL tags map
 	// onto them (TagGC -> Background).
@@ -314,6 +428,7 @@ type writeSeq struct {
 
 func newCard(v *Volume, node, idx int) (*card, error) {
 	cd := &card{v: v, node: node, idx: idx, wseqs: make(map[ftl.IOTag]*writeSeq)}
+	cd.gidx = node*v.c.Params.CardsPerNode + idx
 	for cl := sched.Class(0); cl < sched.NumClasses; cl++ {
 		if cl == sched.Accel {
 			// Device-side ISP reads never flow through the FTL's host
@@ -339,7 +454,10 @@ func newCard(v *Volume, node, idx int) (*card, error) {
 	return cd, nil
 }
 
-// pushUrgency reports the node's worst-card urgency to the scheduler.
+// pushUrgency reports the node's worst-card urgency to the scheduler,
+// floored by the node's rebuild urgency while a rebuild touches it —
+// without the floor, an idle node's Background class gets zero tokens
+// and a rebuild reading from (or writing to) it would stall forever.
 func (cd *card) pushUrgency() {
 	v := cd.v
 	base := cd.node * v.c.Params.CardsPerNode
@@ -349,15 +467,20 @@ func (cd *card) pushUrgency() {
 			u = cu
 		}
 	}
+	if ru := v.rebuildUrg[cd.node]; ru > u {
+		u = ru
+	}
 	v.s.SetGCUrgency(cd.node, u)
 }
 
 // classOf maps an FTL traffic tag onto a scheduler class. Tags only
 // ever carry tenant classes (NewStream rejects Accel and Background),
 // so anything else — including a stray Accel-valued tag — lands on
-// Batch rather than a class the card holds no stream for.
+// Batch rather than a class the card holds no stream for. GC and
+// replica-rebuild traffic both ride the Background class, gated by
+// the urgency token budget.
 func classOf(tag ftl.IOTag) sched.Class {
-	if tag == ftl.TagGC {
+	if tag == ftl.TagGC || tag == ftl.TagRebuild {
 		return sched.Background
 	}
 	if tag >= ftl.IOTag(sched.Accel) {
