@@ -21,6 +21,8 @@
 //	                               # node-kill on a mirrored volume: degraded p99 + rebuild
 //	bluedbm-bench -run engine -json BENCH_ENGINE.json
 //	                               # event-engine speed: events/sec at 4/16/64 nodes
+//	bluedbm-bench -run cache -json BENCH_CACHE.json
+//	                               # host-DRAM cache tier: hit regimes, perf-per-watt, invalidation p99
 //	bluedbm-bench -list            # list experiment ids
 //
 // Profiling the simulator itself (any experiment selection):
@@ -164,6 +166,23 @@ func faultRunner(short bool, jsonPath string) func() (string, error) {
 	}
 }
 
+// cacheRunner drives the cache-tier experiment: hot/cold readers
+// against the host-DRAM write-back cache at increasing capacity (plus
+// a DRAM-cluster strawman for perf-per-watt), and the
+// invalidation-heavy cross-node write pair.
+func cacheRunner(short bool, jsonPath string) func() (string, error) {
+	return func() (string, error) {
+		res, err := experiments.CacheTier(experiments.DefaultCacheTier(short))
+		if err != nil {
+			return "", err
+		}
+		if err := writeJSON(jsonPath, res); err != nil {
+			return "", err
+		}
+		return experiments.FormatCacheTier(res), nil
+	}
+}
+
 // engineRunner drives the event-engine benchmark: the synthetic
 // full-stack load swept over cluster sizes, measuring the simulation
 // substrate (events/sec, ns/event, allocs/event) rather than the
@@ -190,6 +209,7 @@ func allRunners(short bool, jsonPath string) []runner {
 		{"fs", "file stack: blockfs-on-FTL vs cluster RFS vs cluster RFS + distributed file scans (Figure 8 end-to-end)", true, fsRunner(short, jsonPath)},
 		{"apps", "distributed applications: cluster nearest-neighbor + migrating graph traversal vs host-centric twins", true, appsRunner(short, jsonPath)},
 		{"fault", "fault tolerance: node kill on a mirrored volume — degraded p99 and time-to-rebuild vs baseline", true, faultRunner(short, jsonPath)},
+		{"cache", "host-DRAM cache tier: hit regimes + DRAM strawman perf-per-watt + invalidation-heavy p99", true, cacheRunner(short, jsonPath)},
 		{"table1", "Artix-7 flash controller resources", false, func() (string, error) {
 			return experiments.FormatTable1(8), nil
 		}},
@@ -363,7 +383,7 @@ func run() int {
 			}
 		}
 		if jsonRunners > 1 {
-			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched/gc/isp/fs/apps/fault/engine experiments separately")
+			fmt.Fprintln(os.Stderr, "bluedbm-bench: -json selects one output file; run the sched/gc/isp/fs/apps/fault/cache/engine experiments separately")
 			return 2
 		}
 	}

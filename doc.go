@@ -37,6 +37,14 @@
 //	                      optional cross-node mirroring: degraded-read
 //	                      failover, Background-class rebuild reusing the
 //	                      GC urgency-token machinery
+//	internal/cache        per-node host-DRAM write-back page cache above
+//	                      the volume: CLOCK eviction over dense alloc-free
+//	                      state, hits charged to hostmodel DRAM bandwidth,
+//	                      dirty flush on Background with urgency feedback,
+//	                      cross-node invalidation over the fabric
+//	                      (invalidate-on-flash-visibility, last flusher
+//	                      wins), cold-page demotion to altstore devices
+//	                      with promotion on re-reference
 //	internal/rfs          RFS-style flash file system (§4): FS core generic
 //	                      over a Backend — per-card (flashserver iface) or
 //	                      cluster-wide (log striped over every chip of every
@@ -60,7 +68,8 @@
 //	                      fabric instead of pages moving to a home node)
 //	internal/workload     deterministic generators and traffic drivers
 //	internal/experiments  the paper's tables and figures + the sched/gc/
-//	                      isp/fs/apps/fault/engine benchmark experiments
+//	                      isp/fs/apps/fault/cache/engine benchmark
+//	                      experiments
 //	internal/report       observability
 //	internal/fpga         FPGA resource models (Tables 1-2)
 //	internal/power        node power model (Table 3)
@@ -75,9 +84,9 @@
 // the paper's evaluation; cmd/bluedbm-bench does the same from the
 // command line, including the beyond-the-paper experiments (-run
 // engine, -run sched, -run gc, -run isp, -run fs, -run apps, -run
-// fault) whose committed artifacts are BENCH_ENGINE.json,
+// fault, -run cache) whose committed artifacts are BENCH_ENGINE.json,
 // BENCH_SCHED.json, BENCH_GC.json, BENCH_ISP.json, BENCH_FS.json,
-// BENCH_APPS.json and BENCH_FAULT.json.
+// BENCH_APPS.json, BENCH_FAULT.json and BENCH_CACHE.json.
 // Profiling flags (-cpuprofile, -memprofile, -trace) work with every
 // experiment.
 package repro

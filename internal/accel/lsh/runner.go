@@ -244,7 +244,7 @@ func RunHostFlash(c *core.Cluster, nodeID int, candidates []core.PageAddr, ids [
 
 // SecondaryDev abstracts the slow tier of a mixed DRAM working set.
 type SecondaryDev interface {
-	Read(size int, sequential bool, done func())
+	Read(size int, sequential bool, done func(error))
 }
 
 // RunMixedDRAM is Figure 17's ram-cloud-with-spill configuration: a
@@ -268,6 +268,7 @@ func RunMixedDRAM(eng *sim.Engine, cpu *hostmodel.CPU, dev SecondaryDev,
 	start := eng.Now()
 	next := 0
 	remaining := 0
+	var devErr error
 	for w := 0; w < threads; w++ {
 		th := cpu.NewThread()
 		remaining++
@@ -292,7 +293,14 @@ func RunMixedDRAM(eng *sim.Engine, cpu *hostmodel.CPU, dev SecondaryDev,
 				})
 			}
 			if miss[i] {
-				dev.Read(len(item), false, func() {
+				dev.Read(len(item), false, func(err error) {
+					if err != nil {
+						if devErr == nil {
+							devErr = err
+						}
+						remaining--
+						return
+					}
 					eng.After(FaultPenalty, compare)
 				})
 				return
@@ -302,6 +310,9 @@ func RunMixedDRAM(eng *sim.Engine, cpu *hostmodel.CPU, dev SecondaryDev,
 		step()
 	}
 	eng.Run()
+	if devErr != nil {
+		return nil, fmt.Errorf("lsh: secondary device: %w", devErr)
+	}
 	if remaining != 0 {
 		return nil, fmt.Errorf("lsh: %d mixed threads never finished", remaining)
 	}
@@ -323,6 +334,7 @@ func RunSSD(eng *sim.Engine, cpu *hostmodel.CPU, ssd *altstore.SSD,
 	start := eng.Now()
 	next := 0
 	remaining := 0
+	var devErr error
 	for w := 0; w < threads; w++ {
 		th := cpu.NewThread()
 		remaining++
@@ -335,7 +347,14 @@ func RunSSD(eng *sim.Engine, cpu *hostmodel.CPU, ssd *altstore.SSD,
 			id := candidates[next]
 			next++
 			item := items[id]
-			ssd.Read(len(item), sequential, func() {
+			ssd.Read(len(item), sequential, func(err error) {
+				if err != nil {
+					if devErr == nil {
+						devErr = err
+					}
+					remaining--
+					return
+				}
 				eng.After(ReadSyscallOverhead, func() {
 					th.Do(HammingCPUPerPage, func() {
 						d := HammingDistance(query, item)
@@ -351,6 +370,9 @@ func RunSSD(eng *sim.Engine, cpu *hostmodel.CPU, ssd *altstore.SSD,
 		step()
 	}
 	eng.Run()
+	if devErr != nil {
+		return nil, fmt.Errorf("lsh: SSD: %w", devErr)
+	}
 	if remaining != 0 {
 		return nil, fmt.Errorf("lsh: %d SSD threads never finished", remaining)
 	}

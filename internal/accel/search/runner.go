@@ -183,7 +183,7 @@ func gcd(a, b int) int {
 
 // DeviceReader abstracts the comparator devices (altstore SSD / HDD).
 type DeviceReader interface {
-	Read(size int, sequential bool, done func())
+	Read(size int, sequential bool, done func(error))
 }
 
 // GrepCPUPerByte is the software scan cost in nanoseconds per byte:
@@ -218,6 +218,7 @@ func SearchSoftware(eng *sim.Engine, cpu *hostmodel.CPU, dev DeviceReader,
 	var all []int64
 	start := eng.Now()
 	remaining := 0
+	var devErr error
 	cost := sim.Time(pageSize) * GrepCPUPerByte * sim.Nanosecond
 
 	for w := 0; w < threads; w++ {
@@ -250,7 +251,14 @@ func SearchSoftware(eng *sim.Engine, cpu *hostmodel.CPU, dev DeviceReader,
 			}
 			myIdx := idx
 			idx++
-			dev.Read(pageSize, true, func() {
+			dev.Read(pageSize, true, func(err error) {
+				if err != nil {
+					if devErr == nil {
+						devErr = err
+					}
+					remaining--
+					return
+				}
 				th.Do(cost, func() {
 					page := make([]byte, pageSize)
 					if gen != nil {
@@ -268,6 +276,9 @@ func SearchSoftware(eng *sim.Engine, cpu *hostmodel.CPU, dev DeviceReader,
 		step()
 	}
 	eng.Run()
+	if devErr != nil {
+		return nil, fmt.Errorf("search: device: %w", devErr)
+	}
 	if remaining != 0 {
 		return nil, fmt.Errorf("search: %d software shards never finished", remaining)
 	}

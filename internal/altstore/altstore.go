@@ -5,14 +5,23 @@
 //
 // These are black-box envelope models: the experiments only depend on
 // the devices' published throughput/latency behaviour, not on their
-// internals.
+// internals. Completion callbacks carry a typed error so device
+// failure propagates the same way the flash stack's fault ledger does
+// (PR 8): a device that has been Fail()ed completes every request with
+// ErrDead instead of silently dropping it.
 package altstore
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sim"
 )
+
+// ErrDead is delivered to every request issued against a device that
+// has failed (see Fail). Callers treat it like the volume's
+// uncorrectable-read errors: typed, inspectable, never swallowed.
+var ErrDead = errors.New("altstore: device failed")
 
 // SSDConfig describes an off-the-shelf NVMe/M.2 SSD.
 type SSDConfig struct {
@@ -39,8 +48,10 @@ type SSD struct {
 	cfg      SSDConfig
 	channels *sim.TokenPool
 	stream   *sim.Pipe
+	dead     bool
 
-	Reads sim.Counter
+	Reads  sim.Counter
+	Writes sim.Counter
 }
 
 // NewSSD builds the device.
@@ -56,10 +67,33 @@ func NewSSD(eng *sim.Engine, name string, cfg SSDConfig) (*SSD, error) {
 	}, nil
 }
 
+// Fail marks the device dead: every request from now on completes
+// immediately with ErrDead.
+func (s *SSD) Fail() { s.dead = true }
+
+// Replace models swapping in a fresh drive: requests succeed again.
+func (s *SSD) Replace() { s.dead = false }
+
 // Read fetches size bytes; sequential selects the prefetch-friendly
 // path. done runs when the data is in host memory.
-func (s *SSD) Read(size int, sequential bool, done func()) {
+func (s *SSD) Read(size int, sequential bool, done func(error)) {
 	s.Reads.Inc()
+	s.access(size, sequential, done)
+}
+
+// Write stores size bytes. The envelope model charges writes the same
+// command latency and interface bandwidth as reads — the published
+// numbers for the paper's M.2 drive are symmetric at this granularity.
+func (s *SSD) Write(size int, sequential bool, done func(error)) {
+	s.Writes.Inc()
+	s.access(size, sequential, done)
+}
+
+func (s *SSD) access(size int, sequential bool, done func(error)) {
+	if s.dead {
+		done(ErrDead)
+		return
+	}
 	lat := s.cfg.RandomLatency
 	if sequential {
 		lat = s.cfg.SeqLatency
@@ -67,7 +101,11 @@ func (s *SSD) Read(size int, sequential bool, done func()) {
 	s.channels.Acquire(1, func() {
 		s.eng.After(lat, func() {
 			s.channels.Release(1)
-			s.stream.Transfer(size, done)
+			if s.dead {
+				done(ErrDead)
+				return
+			}
+			s.stream.Transfer(size, func() { done(nil) })
 		})
 	})
 }
@@ -92,8 +130,10 @@ type HDD struct {
 	cfg      HDDConfig
 	actuator *sim.TokenPool
 	stream   *sim.Pipe
+	dead     bool
 
-	Reads sim.Counter
+	Reads  sim.Counter
+	Writes sim.Counter
 }
 
 // NewHDD builds the device.
@@ -109,18 +149,45 @@ func NewHDD(eng *sim.Engine, name string, cfg HDDConfig) (*HDD, error) {
 	}, nil
 }
 
+// Fail marks the device dead: every request from now on completes
+// immediately with ErrDead.
+func (h *HDD) Fail() { h.dead = true }
+
+// Replace models swapping in a fresh drive: requests succeed again.
+func (h *HDD) Replace() { h.dead = false }
+
 // Read fetches size bytes; non-sequential reads pay the seek.
-func (h *HDD) Read(size int, sequential bool, done func()) {
+func (h *HDD) Read(size int, sequential bool, done func(error)) {
 	h.Reads.Inc()
+	h.access(size, sequential, done)
+}
+
+// Write stores size bytes; non-sequential writes pay the seek. Media
+// rate is symmetric for a disk.
+func (h *HDD) Write(size int, sequential bool, done func(error)) {
+	h.Writes.Inc()
+	h.access(size, sequential, done)
+}
+
+func (h *HDD) access(size int, sequential bool, done func(error)) {
+	if h.dead {
+		done(ErrDead)
+		return
+	}
 	h.actuator.Acquire(1, func() {
 		seek := h.cfg.Seek
 		if sequential {
 			seek = 0
 		}
 		h.eng.After(seek, func() {
+			if h.dead {
+				h.actuator.Release(1)
+				done(ErrDead)
+				return
+			}
 			h.stream.Transfer(size, func() {
 				h.actuator.Release(1)
-				done()
+				done(nil)
 			})
 		})
 	})

@@ -1,6 +1,8 @@
 package altstore
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/sim"
@@ -15,7 +17,12 @@ func TestSSDSequentialApproaches600(t *testing.T) {
 	const pages = 2000
 	done := 0
 	for i := 0; i < pages; i++ {
-		ssd.Read(8192, true, func() { done++ })
+		ssd.Read(8192, true, func(err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			done++
+		})
 	}
 	eng.Run()
 	if done != pages {
@@ -33,7 +40,7 @@ func TestSSDRandomMuchSlower(t *testing.T) {
 		ssd, _ := NewSSD(eng, "m2", DefaultSSD())
 		const pages = 1000
 		for i := 0; i < pages; i++ {
-			ssd.Read(8192, seq, func() {})
+			ssd.Read(8192, seq, func(error) {})
 		}
 		eng.Run()
 		return float64(pages*8192) / eng.Now().Seconds()
@@ -49,6 +56,26 @@ func TestSSDRandomMuchSlower(t *testing.T) {
 	}
 }
 
+func TestSSDWriteEnvelopeMatchesRead(t *testing.T) {
+	run := func(write bool) sim.Time {
+		eng := sim.NewEngine()
+		ssd, _ := NewSSD(eng, "m2", DefaultSSD())
+		for i := 0; i < 500; i++ {
+			if write {
+				ssd.Write(8192, true, func(error) {})
+			} else {
+				ssd.Read(8192, true, func(error) {})
+			}
+		}
+		eng.Run()
+		return eng.Now()
+	}
+	rd, wr := run(false), run(true)
+	if rd != wr {
+		t.Fatalf("write envelope %v != read envelope %v", wr, rd)
+	}
+}
+
 func TestHDDSeekDominatedRandom(t *testing.T) {
 	eng := sim.NewEngine()
 	hdd, err := NewHDD(eng, "disk", DefaultHDD())
@@ -58,7 +85,7 @@ func TestHDDSeekDominatedRandom(t *testing.T) {
 	const ios = 100
 	done := 0
 	for i := 0; i < ios; i++ {
-		hdd.Read(8192, false, func() { done++ })
+		hdd.Read(8192, false, func(error) { done++ })
 	}
 	eng.Run()
 	iops := float64(ios) / eng.Now().Seconds()
@@ -72,7 +99,7 @@ func TestHDDSequentialStream(t *testing.T) {
 	hdd, _ := NewHDD(eng, "disk", DefaultHDD())
 	const pages = 1000
 	for i := 0; i < pages; i++ {
-		hdd.Read(8192, true, func() {})
+		hdd.Read(8192, true, func(error) {})
 	}
 	eng.Run()
 	bw := float64(pages*8192) / eng.Now().Seconds()
@@ -88,5 +115,136 @@ func TestInvalidConfigs(t *testing.T) {
 	}
 	if _, err := NewHDD(eng, "x", HDDConfig{}); err == nil {
 		t.Fatal("zero HDD config accepted")
+	}
+}
+
+// completionOrder issues n random reads tagged 0..n-1 against a fresh
+// SSD and returns the order their completions fired.
+func completionOrder(t *testing.T, n int) []int {
+	t.Helper()
+	eng := sim.NewEngine()
+	ssd, err := NewSSD(eng, "m2", DefaultSSD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ssd.Read(8192, false, func(err error) {
+			if err != nil {
+				t.Errorf("read %d: %v", i, err)
+			}
+			order = append(order, i)
+		})
+	}
+	eng.Run()
+	return order
+}
+
+// The SSD's channel TokenPool is strict-FIFO, so a burst of concurrent
+// readers must complete in exactly issue order — on every run. This
+// pins the determinism contract the cache's demotion tier relies on.
+func TestSSDConcurrentReadersDeterministicOrder(t *testing.T) {
+	const n = 64
+	first := completionOrder(t, n)
+	if len(first) != n {
+		t.Fatalf("completed %d of %d", len(first), n)
+	}
+	for i, got := range first {
+		if got != i {
+			t.Fatalf("completion order %v: position %d is reader %d, want FIFO",
+				first, i, got)
+		}
+	}
+	for run := 0; run < 3; run++ {
+		again := completionOrder(t, n)
+		if fmt.Sprint(again) != fmt.Sprint(first) {
+			t.Fatalf("run %d order %v differs from first %v", run, again, first)
+		}
+	}
+}
+
+func TestHDDConcurrentReadersDeterministicOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	hdd, _ := NewHDD(eng, "disk", DefaultHDD())
+	const n = 16
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		hdd.Read(8192, false, func(error) { order = append(order, i) })
+	}
+	eng.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("single-actuator order %v not FIFO at %d", order, i)
+		}
+	}
+}
+
+// A dead device must fail every request with ErrDead — both requests
+// issued after Fail and requests still queued on a channel when the
+// device dies mid-burst.
+func TestDeviceFailurePropagatesTypedError(t *testing.T) {
+	eng := sim.NewEngine()
+	ssd, _ := NewSSD(eng, "m2", DefaultSSD())
+	okBefore, deadErrs := 0, 0
+	// Saturate the 4 channels plus a queued tail, then kill the device
+	// after the first completion lands.
+	const burst = 12
+	for i := 0; i < burst; i++ {
+		ssd.Read(8192, false, func(err error) {
+			if err == nil {
+				okBefore++
+			} else if errors.Is(err, ErrDead) {
+				deadErrs++
+			} else {
+				t.Errorf("unexpected error type: %v", err)
+			}
+		})
+	}
+	eng.After(DefaultSSD().RandomLatency+sim.Microsecond, ssd.Fail)
+	eng.Run()
+	if okBefore == 0 || deadErrs == 0 {
+		t.Fatalf("mid-burst failure: %d ok, %d dead (want both nonzero)", okBefore, deadErrs)
+	}
+	if okBefore+deadErrs != burst {
+		t.Fatalf("lost completions: %d ok + %d dead != %d", okBefore, deadErrs, burst)
+	}
+	// Post-failure requests fail synchronously with the typed error.
+	var got error
+	ssd.Write(8192, true, func(err error) { got = err })
+	if !errors.Is(got, ErrDead) {
+		t.Fatalf("write after Fail: err = %v, want ErrDead", got)
+	}
+	// Replace restores service.
+	ssd.Replace()
+	var back error = ErrDead
+	ssd.Read(8192, true, func(err error) { back = err })
+	eng.Run()
+	if back != nil {
+		t.Fatalf("read after Replace: %v", back)
+	}
+}
+
+func TestHDDFailurePropagatesTypedError(t *testing.T) {
+	eng := sim.NewEngine()
+	hdd, _ := NewHDD(eng, "disk", DefaultHDD())
+	hdd.Fail()
+	var got error
+	hdd.Read(8192, false, func(err error) { got = err })
+	if !errors.Is(got, ErrDead) {
+		t.Fatalf("read on dead HDD: err = %v, want ErrDead", got)
+	}
+	hdd.Replace()
+	done := false
+	hdd.Write(8192, true, func(err error) {
+		if err != nil {
+			t.Errorf("write after Replace: %v", err)
+		}
+		done = true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("write after Replace never completed")
 	}
 }

@@ -1,0 +1,133 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// The cache hot paths carry every DRAM hit in the simulated cluster,
+// so a single allocation per operation turns into GC pressure
+// proportional to total simulated I/O. These tests pin the lookup,
+// hit, evict, and invalidation-send paths at zero steady-state
+// allocations, matching the engine/fabric guarantees from PRs 6/9.
+
+// TestIndexOpsAllocFree: open-addressed index insert/lookup/delete and
+// the CLOCK slot recycler never allocate once the structures exist.
+func TestIndexOpsAllocFree(t *testing.T) {
+	_, _, ca := testCache(t, 1, DefaultConfig(64))
+	nc := ca.nodes[0]
+	if n := testing.AllocsPerRun(1000, func() {
+		for k := int64(0); k < 48; k++ {
+			slot := nc.takeSlot()
+			if slot < 0 {
+				t.Fatal("no slot")
+			}
+			nc.entries[slot].lpn = k
+			nc.entries[slot].state = stClean
+			nc.insert(k, slot)
+			nc.used++
+		}
+		for k := int64(0); k < 48; k++ {
+			if _, ok := nc.lookup(k); !ok {
+				t.Fatalf("lost key %d", k)
+			}
+		}
+		for k := int64(0); k < 48; k++ {
+			slot, _ := nc.lookup(k)
+			nc.deleteIdx(k)
+			nc.used--
+			nc.releaseSlot(slot)
+		}
+	}); n != 0 {
+		t.Fatalf("index insert/lookup/delete cycle allocates %.1f objects, want 0", n)
+	}
+}
+
+// TestEvictionAllocFree: CLOCK eviction under a full cache (every
+// takeSlot reclaims a clean frame) is allocation-free.
+func TestEvictionAllocFree(t *testing.T) {
+	_, _, ca := testCache(t, 1, DefaultConfig(32))
+	nc := ca.nodes[0]
+	for k := int64(0); k < 32; k++ {
+		slot := nc.takeSlot()
+		nc.entries[slot].lpn = k
+		nc.entries[slot].state = stClean
+		nc.insert(k, slot)
+		nc.used++
+	}
+	next := int64(32)
+	if n := testing.AllocsPerRun(1000, func() {
+		slot := nc.takeSlot() // must evict
+		if slot < 0 {
+			t.Fatal("nothing evictable")
+		}
+		nc.entries[slot].lpn = next
+		nc.entries[slot].state = stClean
+		nc.insert(next, slot)
+		nc.used++
+		next++
+	}); n != 0 {
+		t.Fatalf("CLOCK eviction allocates %.1f objects, want 0", n)
+	}
+}
+
+// TestReadHitAllocFree: the full hit path — lookup, pin, hostmodel
+// DRAM charge, pooled completion, engine drain — allocates nothing in
+// steady state.
+func TestReadHitAllocFree(t *testing.T) {
+	c, _, ca := testCache(t, 1, DefaultConfig(16))
+	st, err := ca.NewStream("t", 0, sched.Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink byte
+	cb := func(data []byte, err error) {
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		sink ^= data[0]
+	}
+	// Warm: seed four pages, drain their flushes, grow every pool.
+	for lpn := 0; lpn < 4; lpn++ {
+		st.Write(lpn, pageData(ca.PageSize(), lpn), func(err error) {})
+		c.Run()
+	}
+	for rep := 0; rep < 4; rep++ {
+		for lpn := 0; lpn < 4; lpn++ {
+			st.Read(lpn, cb)
+		}
+		c.Run()
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		for lpn := 0; lpn < 4; lpn++ {
+			st.Read(lpn, cb)
+		}
+		c.Run()
+	}); n != 0 {
+		t.Fatalf("read hit cycle allocates %.1f objects, want 0", n)
+	}
+	if s := ca.Stats(); s.Misses > 4 {
+		t.Fatalf("hit loop missed (%d misses) — not measuring the hit path", s.Misses)
+	}
+}
+
+// TestInvalidationSendAllocFree: a cross-node invalidation broadcast —
+// pooled message, fabric send, delivery, applyInv on the remote
+// nodes — allocates nothing once warm.
+func TestInvalidationSendAllocFree(t *testing.T) {
+	c, _, ca := testCache(t, 4, DefaultConfig(16))
+	for rep := 0; rep < 4; rep++ {
+		ca.broadcastInv(0, 7)
+		c.Run()
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		ca.broadcastInv(0, 7)
+		c.Run()
+	}); n != 0 {
+		t.Fatalf("invalidation broadcast allocates %.1f objects, want 0", n)
+	}
+	if ca.Stats().InvalidationsSent == 0 {
+		t.Fatal("no invalidations sent")
+	}
+}

@@ -1,0 +1,959 @@
+// Package cache is the per-node host-DRAM tier above internal/volume:
+// a page-granular read/write-back cache whose capacity and hit
+// bandwidth are bounded by the node's hostmodel envelope, plus a
+// cold-data demotion tier onto the paper's altstore comparator
+// devices (tier.go).
+//
+// Shape of the tier (ROADMAP item 4; paper §6.2, Figures 17/21):
+//
+//   - Hits are charged through hostmodel.CPU.ReadDRAM, so cache
+//     traffic contends with ISP merge and host software for the same
+//     DRAM-bandwidth pipe instead of being free.
+//   - Eviction is CLOCK over dense, allocation-free state: one entry
+//     array, one backing page slab, an open-addressed lpn index, and
+//     pooled completion contexts. The lookup/hit/evict path and the
+//     invalidation send path are simlint hotpath-clean and pinned at
+//     zero steady-state allocations by AllocsPerRun tests.
+//   - Dirty pages flush to the volume on the scheduler's Background
+//     class (ftl.TagFlush), admitted through the same urgency token
+//     budget as GC and rebuild: the cache reports dirty-page pressure
+//     via Volume.SetAuxUrgency, so flushing stays invisible to
+//     foreground latency until the dirty fraction climbs.
+//   - Cross-node coherence rides invalidation messages on a dedicated
+//     fabric endpoint (InvalidateEP). Invalidations are broadcast when
+//     a write becomes flash-visible — at flush or write-through
+//     completion, not at write-admission — so a remote re-read after
+//     invalidation observes the new data on flash. Remote copies that
+//     are locally dirty or mid-flush are kept (concurrent writers are
+//     unordered; the last flusher wins). Clean remote copies drop,
+//     in-flight remote fills are poisoned.
+//
+// Consistency contract: reads and writes racing on the same page are
+// unordered (as in the underlying volume); a read concurrent with a
+// write may observe either version. A node always observes its own
+// writes in order.
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hostmodel"
+	"repro/internal/sched"
+	"repro/internal/volume"
+)
+
+// InvalidateEP is the fabric endpoint the cache binds on every node
+// for coherence traffic. core.EPUser is used by mapreduce shuffle and
+// EPUser+1 by ispvol merge; +2 is reserved here.
+const InvalidateEP = core.EPUser + 2
+
+// invBytes is the wire size of one invalidation message: an 8-byte
+// lpn plus the usual header's worth of framing.
+const invBytes = 16
+
+// ErrOutOfRange marks page numbers outside the volume.
+var ErrOutOfRange = errors.New("cache: page out of range")
+
+// Config sizes the cache tier.
+type Config struct {
+	// CapacityPages is the per-node DRAM cache capacity in pages.
+	CapacityPages int
+	// FlushDepth bounds concurrent Background flush writes per node
+	// (default 8).
+	FlushDepth int
+	// FlushLowWater / FlushHighWater map the dirty-page fraction onto
+	// the Background urgency reported to the scheduler: urgency 0 at
+	// or below low water, 1 at or above high water (defaults 0.25 and
+	// 0.75) — the same feedback shape the FTL's GC urgency uses.
+	FlushLowWater  float64
+	FlushHighWater float64
+	// Tier, when non-nil, enables cold-page demotion to altstore
+	// devices (see tier.go).
+	Tier *TierConfig
+}
+
+// DefaultConfig returns a cache of capacityPages per node with
+// standard flush behaviour and no demotion tier.
+func DefaultConfig(capacityPages int) Config {
+	return Config{
+		CapacityPages:  capacityPages,
+		FlushDepth:     8,
+		FlushLowWater:  0.25,
+		FlushHighWater: 0.75,
+	}
+}
+
+// entry states.
+const (
+	stEmpty   uint8 = iota // slot unused
+	stFilling              // volume read in flight to populate the frame
+	stClean                // matches flash
+	stDirty                // newer than flash, awaiting flush
+	stWriting              // flush write in flight
+	stDead                 // invalidated while pinned; freed at unpin
+)
+
+// entry is one page frame's metadata. Dense and index-addressed: the
+// frame bytes live at the same slot index in the node's backing slab.
+type entry struct {
+	lpn      int64
+	state    uint8
+	ref      bool  // CLOCK reference bit
+	poisoned bool  // invalidated while filling: do not install
+	redirty  bool  // written while the flush was in flight
+	tiered   bool  // the demotion tier holds a copy of this lpn
+	pins     int32 // in-flight DRAM hit transfers against the frame
+}
+
+// Cache is the cluster-wide cache tier: one nodeCache per node plus
+// the shared volume streams and the optional demotion tier.
+type Cache struct {
+	cluster *core.Cluster
+	v       *volume.Volume
+	cfg     Config
+	ps      int // page size
+	pages   int // volume logical pages
+
+	nodes    []*nodeCache
+	vstreams [sched.NumClasses]*volume.Stream
+	tier     *tier
+
+	freeInv []*invMsg
+	invSent int64
+}
+
+// invMsg is one pooled invalidation payload, shared by the fan-out of
+// a single broadcast and recycled when the last receiver consumed it.
+type invMsg struct {
+	lpn  int64
+	refs int32
+}
+
+// nodeCache is one node's DRAM cache: dense entries, one page slab,
+// an open-addressed lpn index, and pooled completion contexts.
+type nodeCache struct {
+	c    *Cache
+	node int
+	cpu  *hostmodel.CPU
+	inv  *fabric.Endpoint
+
+	entries []entry
+	data    []byte  // CapacityPages * pageSize backing slab
+	keys    []int64 // open-addressed index: lpn, or -1 empty
+	vals    []int32 // slot for keys[i]
+	mask    uint64
+	free    []int32 // unused slot stack
+
+	hand      int // CLOCK hand
+	flushHand int // dirty-page sweep hand
+	used      int
+	dirty     int
+	flushing  int
+	lastUrg   float64
+
+	freeHit   []*hitCtx
+	freeFill  []*fillCtx
+	freeWack  []*wackCtx
+	freeFlush []*flushCtx
+
+	// counters (aggregated in Stats)
+	hits           int64
+	misses         int64
+	writeHits      int64
+	writeAllocs    int64
+	writeThroughs  int64
+	flushes        int64
+	flushErrors    int64
+	evictions      int64
+	invApplied     int64
+	invIgnoredDirt int64
+	fillsPoisoned  int64
+}
+
+// New builds the cache tier over cluster c and volume v. It binds
+// InvalidateEP on every node and opens one shared volume stream per
+// tenant class for miss fills.
+func New(c *core.Cluster, v *volume.Volume, cfg Config) (*Cache, error) {
+	if cfg.CapacityPages <= 0 {
+		return nil, fmt.Errorf("cache: invalid capacity %d", cfg.CapacityPages)
+	}
+	if cfg.FlushDepth <= 0 {
+		cfg.FlushDepth = 8
+	}
+	if cfg.FlushLowWater <= 0 {
+		cfg.FlushLowWater = 0.25
+	}
+	if cfg.FlushHighWater <= cfg.FlushLowWater {
+		cfg.FlushHighWater = 0.75
+	}
+	if cfg.FlushHighWater <= cfg.FlushLowWater {
+		return nil, fmt.Errorf("cache: flush watermarks %v/%v", cfg.FlushLowWater, cfg.FlushHighWater)
+	}
+	ca := &Cache{cluster: c, v: v, cfg: cfg, ps: v.PageSize(), pages: v.Pages()}
+	for _, cl := range []sched.Class{sched.Realtime, sched.Interactive, sched.Batch} {
+		vs, err := v.NewStream(fmt.Sprintf("cache/fill%d", cl), cl)
+		if err != nil {
+			return nil, err
+		}
+		ca.vstreams[cl] = vs
+	}
+	// Index sized to the next power of two >= 4x capacity keeps the
+	// linear-probe chains short.
+	idxSize := 4
+	for idxSize < 4*cfg.CapacityPages {
+		idxSize <<= 1
+	}
+	for n := 0; n < c.Nodes(); n++ {
+		nc := &nodeCache{
+			c:       ca,
+			node:    n,
+			cpu:     c.Node(n).CPU,
+			entries: make([]entry, cfg.CapacityPages),
+			data:    make([]byte, cfg.CapacityPages*ca.ps),
+			keys:    make([]int64, idxSize),
+			vals:    make([]int32, idxSize),
+			mask:    uint64(idxSize - 1),
+			free:    make([]int32, 0, cfg.CapacityPages),
+		}
+		for i := range nc.keys {
+			nc.keys[i] = -1
+		}
+		for i := cfg.CapacityPages - 1; i >= 0; i-- {
+			nc.free = append(nc.free, int32(i))
+		}
+		ep, err := c.Node(n).NetNode().BindEndpoint(InvalidateEP)
+		if err != nil {
+			return nil, err
+		}
+		nc.inv = ep
+		ep.OnReceive = func(src fabric.NodeID, size int, payload any) {
+			m := payload.(*invMsg)
+			nc.applyInv(m.lpn)
+			m.refs--
+			if m.refs == 0 {
+				ca.putInv(m)
+			}
+		}
+		ca.nodes = append(ca.nodes, nc)
+	}
+	if cfg.Tier != nil {
+		t, err := newTier(ca, *cfg.Tier)
+		if err != nil {
+			return nil, err
+		}
+		ca.tier = t
+	}
+	return ca, nil
+}
+
+// PageSize returns the underlying volume's page size.
+func (c *Cache) PageSize() int { return c.ps }
+
+// Pages returns the underlying volume's logical page count.
+func (c *Cache) Pages() int { return c.pages }
+
+// ownerNode maps an lpn to the node whose flash card holds it (the
+// volume stripes round-robin over node-major cards).
+func (c *Cache) ownerNode(lpn int) int {
+	return (lpn % c.v.Cards()) / c.cluster.Params.CardsPerNode
+}
+
+// Stream is a QoS-classed cache handle for clients on one node: hits
+// are served from that node's DRAM, misses fill through the volume at
+// the stream's class.
+type Stream struct {
+	nc    *nodeCache
+	vs    *volume.Stream
+	class sched.Class
+}
+
+// NewStream opens a cache stream for clients running on the given
+// node. As with volume streams, Accel and Background are reserved.
+func (c *Cache) NewStream(name string, node int, class sched.Class) (*Stream, error) {
+	if class >= sched.Accel {
+		return nil, fmt.Errorf("cache: class %v not usable by tenants", class)
+	}
+	if node < 0 || node >= len(c.nodes) {
+		return nil, fmt.Errorf("cache: no node %d", node)
+	}
+	return &Stream{nc: c.nodes[node], vs: c.vstreams[class], class: class}, nil
+}
+
+// Class returns the stream's QoS class.
+func (st *Stream) Class() sched.Class { return st.class }
+
+// --- index ------------------------------------------------------------
+
+// splitmix64 scrambles the lpn into an index hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+//simlint:hotpath
+func (nc *nodeCache) lookup(lpn int64) (int32, bool) {
+	i := splitmix64(uint64(lpn)) & nc.mask
+	for {
+		k := nc.keys[i]
+		if k == lpn {
+			return nc.vals[i], true
+		}
+		if k == -1 {
+			return 0, false
+		}
+		i = (i + 1) & nc.mask
+	}
+}
+
+//simlint:hotpath
+func (nc *nodeCache) insert(lpn int64, slot int32) {
+	i := splitmix64(uint64(lpn)) & nc.mask
+	for nc.keys[i] != -1 {
+		i = (i + 1) & nc.mask
+	}
+	nc.keys[i] = lpn
+	nc.vals[i] = slot
+}
+
+// deleteIdx removes lpn with backward-shift deletion, keeping probe
+// chains tombstone-free.
+//
+//simlint:hotpath
+func (nc *nodeCache) deleteIdx(lpn int64) {
+	i := splitmix64(uint64(lpn)) & nc.mask
+	for {
+		if nc.keys[i] == lpn {
+			break
+		}
+		if nc.keys[i] == -1 {
+			return
+		}
+		i = (i + 1) & nc.mask
+	}
+	nc.keys[i] = -1
+	j := i
+	for {
+		j = (j + 1) & nc.mask
+		k := nc.keys[j]
+		if k == -1 {
+			return
+		}
+		h := splitmix64(uint64(k)) & nc.mask
+		// Move k back into the hole unless its home slot lies in the
+		// (cyclic) gap between the hole and k's position.
+		if (j > i && (h <= i || h > j)) || (j < i && (h <= i && h > j)) {
+			nc.keys[i] = k
+			nc.vals[i] = nc.vals[j]
+			nc.keys[j] = -1
+			i = j
+		}
+	}
+}
+
+// frame returns the page bytes of one slot.
+//
+//simlint:hotpath
+func (nc *nodeCache) frame(slot int32) []byte {
+	ps := nc.c.ps
+	return nc.data[int(slot)*ps : int(slot)*ps+ps]
+}
+
+// --- slot allocation (CLOCK) ------------------------------------------
+
+// takeSlot returns a free or evictable slot, or -1 when every frame is
+// pinned, dirty, or in flight. Eviction is CLOCK: sweep clean unpinned
+// entries clearing reference bits; evict the first unreferenced one.
+// The evicted entry is removed from the index; the caller installs the
+// new page.
+//
+//simlint:hotpath
+func (nc *nodeCache) takeSlot() int32 {
+	if n := len(nc.free); n > 0 {
+		s := nc.free[n-1]
+		nc.free = nc.free[:n-1]
+		return s
+	}
+	n := len(nc.entries)
+	for i := 0; i < 2*n; i++ {
+		h := nc.hand
+		nc.hand++
+		if nc.hand == n {
+			nc.hand = 0
+		}
+		e := &nc.entries[h]
+		if e.state != stClean || e.pins > 0 {
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			continue
+		}
+		nc.deleteIdx(e.lpn)
+		e.state = stEmpty
+		nc.used--
+		nc.evictions++
+		return int32(h)
+	}
+	return -1
+}
+
+// release returns a slot to the free stack.
+//
+//simlint:hotpath
+func (nc *nodeCache) releaseSlot(slot int32) {
+	e := &nc.entries[slot]
+	e.state = stEmpty
+	e.ref, e.poisoned, e.redirty, e.tiered = false, false, false, false
+	nc.free = append(nc.free, slot)
+}
+
+// --- pooled completion contexts ---------------------------------------
+
+// hitCtx carries one read hit across the DRAM-transfer charge.
+type hitCtx struct {
+	nc   *nodeCache
+	slot int32
+	cb   func([]byte, error)
+	fire func()
+}
+
+//simlint:hotpath
+func (nc *nodeCache) getHit() *hitCtx {
+	if n := len(nc.freeHit); n > 0 {
+		hx := nc.freeHit[n-1]
+		nc.freeHit[n-1] = nil
+		nc.freeHit = nc.freeHit[:n-1]
+		return hx
+	}
+	//simlint:allow hotpath (pool-miss path: the context and its bound callback are built once and recycled forever after)
+	hx := &hitCtx{nc: nc}
+	//simlint:allow hotpath (bound once per pooled context lifetime, not per hit)
+	hx.fire = func() {
+		nc := hx.nc
+		e := &nc.entries[hx.slot]
+		cb := hx.cb
+		frame := nc.frame(hx.slot)
+		e.pins--
+		if e.pins == 0 && e.state == stDead {
+			// Invalidated while the hit transfer was in flight: the
+			// requester still gets the pre-invalidation bytes (the
+			// race was already unordered), and the frame is freed.
+			nc.releaseSlot(hx.slot)
+		}
+		nc.putHit(hx)
+		cb(frame, nil)
+	}
+	return hx
+}
+
+//simlint:hotpath
+func (nc *nodeCache) putHit(hx *hitCtx) {
+	hx.cb = nil
+	nc.freeHit = append(nc.freeHit, hx)
+}
+
+// wackCtx charges the DRAM write of a cache write hit before acking.
+type wackCtx struct {
+	nc   *nodeCache
+	cb   func(error)
+	fire func()
+}
+
+//simlint:hotpath
+func (nc *nodeCache) getWack() *wackCtx {
+	if n := len(nc.freeWack); n > 0 {
+		wx := nc.freeWack[n-1]
+		nc.freeWack[n-1] = nil
+		nc.freeWack = nc.freeWack[:n-1]
+		return wx
+	}
+	//simlint:allow hotpath (pool-miss path: the context and its bound callback are built once and recycled forever after)
+	wx := &wackCtx{nc: nc}
+	//simlint:allow hotpath (bound once per pooled context lifetime, not per write)
+	wx.fire = func() {
+		cb := wx.cb
+		wx.nc.putWack(wx)
+		cb(nil)
+	}
+	return wx
+}
+
+//simlint:hotpath
+func (nc *nodeCache) putWack(wx *wackCtx) {
+	wx.cb = nil
+	nc.freeWack = append(nc.freeWack, wx)
+}
+
+// ackDRAM acks a buffered write after charging one page of DRAM
+// bandwidth.
+//
+//simlint:hotpath
+func (nc *nodeCache) ackDRAM(cb func(error)) {
+	wx := nc.getWack()
+	wx.cb = cb
+	nc.cpu.ReadDRAM(nc.c.ps, wx.fire)
+}
+
+// fillCtx carries one miss fill: the volume read, the optional install
+// into a reserved frame, and the install's DRAM charge.
+type fillCtx struct {
+	nc     *nodeCache
+	lpn    int64
+	slot   int32 // reserved stFilling slot, or -1 for read-through
+	cb     func([]byte, error)
+	onVol  func([]byte, error)
+	onDRAM func()
+}
+
+//simlint:hotpath
+func (nc *nodeCache) getFill() *fillCtx {
+	if n := len(nc.freeFill); n > 0 {
+		fx := nc.freeFill[n-1]
+		nc.freeFill[n-1] = nil
+		nc.freeFill = nc.freeFill[:n-1]
+		return fx
+	}
+	//simlint:allow hotpath (pool-miss path: the context and its two bound callbacks are built once and recycled forever after)
+	fx := &fillCtx{nc: nc}
+	//simlint:allow hotpath (bound once per pooled context lifetime, not per fill)
+	fx.onVol = func(data []byte, err error) {
+		nc := fx.nc
+		install := false
+		if fx.slot >= 0 {
+			e := &nc.entries[fx.slot]
+			install = err == nil && e.state == stFilling && e.lpn == fx.lpn && !e.poisoned
+			if !install {
+				nc.abortFill(fx.slot, fx.lpn)
+			}
+		}
+		if !install {
+			cb := fx.cb
+			nc.putFill(fx)
+			cb(data, err)
+			return
+		}
+		// Deliver the volume buffer to the requester immediately; the
+		// install into the frame charges DRAM bandwidth in parallel
+		// and only marks the entry clean once that lands.
+		copy(nc.frame(fx.slot), data)
+		fx.cb(data, nil)
+		nc.cpu.ReadDRAM(nc.c.ps, fx.onDRAM)
+	}
+	//simlint:allow hotpath (bound once per pooled context lifetime, not per fill)
+	fx.onDRAM = func() {
+		nc := fx.nc
+		e := &nc.entries[fx.slot]
+		if e.state == stFilling && e.lpn == fx.lpn && !e.poisoned {
+			e.state = stClean
+			e.ref = true
+		} else {
+			nc.abortFill(fx.slot, fx.lpn)
+		}
+		nc.putFill(fx)
+	}
+	return fx
+}
+
+//simlint:hotpath
+func (nc *nodeCache) putFill(fx *fillCtx) {
+	fx.cb = nil
+	nc.freeFill = append(nc.freeFill, fx)
+}
+
+// abortFill releases a reserved fill slot if it still belongs to the
+// aborted fill (a racing overwrite may have claimed the entry).
+//
+//simlint:hotpath
+func (nc *nodeCache) abortFill(slot int32, lpn int64) {
+	e := &nc.entries[slot]
+	if e.state != stFilling || e.lpn != lpn {
+		return
+	}
+	nc.deleteIdx(lpn)
+	nc.used--
+	nc.releaseSlot(slot)
+}
+
+// flushCtx carries one Background flush write.
+type flushCtx struct {
+	nc     *nodeCache
+	lpn    int64
+	slot   int32
+	onDone func(error)
+}
+
+//simlint:hotpath
+func (nc *nodeCache) getFlush() *flushCtx {
+	if n := len(nc.freeFlush); n > 0 {
+		fx := nc.freeFlush[n-1]
+		nc.freeFlush[n-1] = nil
+		nc.freeFlush = nc.freeFlush[:n-1]
+		return fx
+	}
+	//simlint:allow hotpath (pool-miss path: the context and its bound callback are built once and recycled forever after)
+	fx := &flushCtx{nc: nc}
+	//simlint:allow hotpath (bound once per pooled context lifetime, not per flush)
+	fx.onDone = func(err error) {
+		nc := fx.nc
+		nc.flushing--
+		e := &nc.entries[fx.slot]
+		if err != nil {
+			nc.flushErrors++
+			e.state = stDirty
+			nc.dirty++
+		} else {
+			nc.flushes++
+			if e.tiered {
+				e.tiered = false
+				nc.c.tierRelease(fx.lpn)
+			}
+			if e.redirty {
+				e.redirty = false
+				e.state = stDirty
+				nc.dirty++
+			} else {
+				e.state = stClean
+			}
+			// The write is flash-visible: remote re-reads must miss
+			// their stale clean copies and refill from flash.
+			nc.c.broadcastInv(nc.node, fx.lpn)
+		}
+		nc.putFlush(fx)
+		nc.pumpFlush()
+		nc.pushUrgency()
+	}
+	return fx
+}
+
+//simlint:hotpath
+func (nc *nodeCache) putFlush(fx *flushCtx) {
+	nc.freeFlush = append(nc.freeFlush, fx)
+}
+
+// --- read / write -----------------------------------------------------
+
+// Read fetches a logical page: DRAM hit, tier hit, or volume fill at
+// the stream's class. The callback's data slice is only valid inside
+// the callback (hits alias the cache frame).
+//
+//simlint:hotpath
+func (st *Stream) Read(lpn int, cb func(data []byte, err error)) {
+	nc := st.nc
+	c := nc.c
+	if lpn < 0 || lpn >= c.pages {
+		//simlint:allow hotpath (caller-bug error path, not steady state)
+		cb(nil, fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	if c.tier != nil {
+		c.tier.touch(lpn)
+	}
+	key := int64(lpn)
+	if slot, ok := nc.lookup(key); ok {
+		e := &nc.entries[slot]
+		if e.state != stFilling {
+			nc.hits++
+			e.ref = true
+			e.pins++
+			hx := nc.getHit()
+			hx.slot, hx.cb = slot, cb
+			nc.cpu.ReadDRAM(c.ps, hx.fire)
+			return
+		}
+		// A fill for this page is already in flight: read through the
+		// volume rather than stacking a second fill. (A filling entry
+		// implies the page was not demoted when the fill started, and
+		// demotion skips resident pages, so flash still has it.)
+		nc.misses++
+		st.vs.Read(lpn, cb)
+		return
+	}
+	nc.misses++
+	if c.tier != nil && c.tier.has(lpn) {
+		c.tier.read(st, lpn, cb)
+		return
+	}
+	nc.fill(st, key, cb)
+}
+
+// fill reserves a frame (when one is available) and reads the page
+// through the volume at the stream's class; with no frame available
+// the read passes through uncached.
+//
+//simlint:hotpath
+func (nc *nodeCache) fill(st *Stream, key int64, cb func([]byte, error)) {
+	fx := nc.getFill()
+	fx.lpn, fx.cb = key, cb
+	fx.slot = nc.takeSlot()
+	if fx.slot >= 0 {
+		e := &nc.entries[fx.slot]
+		e.lpn = key
+		e.state = stFilling
+		e.ref, e.poisoned, e.redirty, e.tiered = false, false, false, false
+		e.pins = 0
+		nc.insert(key, fx.slot)
+		nc.used++
+	}
+	st.vs.Read(int(key), fx.onVol)
+}
+
+// Write stores a logical page through the cache: write-back on hit or
+// when a frame is free (the ack fires after the DRAM copy, and flash
+// is updated by a Background flush), write-through when the node's
+// frames are all busy. The payload is copied before the callback
+// path begins, matching the volume's snapshot semantics.
+//
+//simlint:hotpath
+func (st *Stream) Write(lpn int, data []byte, cb func(err error)) {
+	nc := st.nc
+	c := nc.c
+	if lpn < 0 || lpn >= c.pages {
+		//simlint:allow hotpath (caller-bug error path, not steady state)
+		cb(fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	if c.tier != nil {
+		c.tier.touch(lpn)
+	}
+	key := int64(lpn)
+	if slot, ok := nc.lookup(key); ok {
+		e := &nc.entries[slot]
+		copy(nc.frame(slot), data)
+		e.ref = true
+		nc.writeHits++
+		switch e.state {
+		case stClean:
+			e.state = stDirty
+			nc.dirty++
+			nc.ackDRAM(cb)
+			nc.pumpFlush()
+			nc.pushUrgency()
+		case stDirty:
+			nc.ackDRAM(cb)
+		case stWriting:
+			e.redirty = true
+			nc.ackDRAM(cb)
+		case stFilling:
+			// Overwrite racing the fill: the new data wins the frame;
+			// the in-flight fill sees the state change and aborts its
+			// install (delivering its stale read to its requester —
+			// that read/write race was already unordered).
+			e.state = stDirty
+			nc.dirty++
+			nc.ackDRAM(cb)
+			nc.pumpFlush()
+			nc.pushUrgency()
+		default:
+			// stDead (pinned corpse): treat as a miss below.
+			nc.writeHits--
+			nc.writeMiss(st, key, data, cb)
+		}
+		return
+	}
+	nc.writeMiss(st, key, data, cb)
+}
+
+//simlint:hotpath
+func (nc *nodeCache) writeMiss(st *Stream, key int64, data []byte, cb func(error)) {
+	slot := nc.takeSlot()
+	if slot < 0 {
+		// Every frame pinned, dirty, or in flight: write through at
+		// the stream's class. Coherence still applies on completion.
+		nc.writeThroughs++
+		nc.writeThrough(st, key, data, cb)
+		return
+	}
+	e := &nc.entries[slot]
+	e.lpn = key
+	e.state = stDirty
+	e.ref = true
+	e.poisoned, e.redirty = false, false
+	e.pins = 0
+	e.tiered = nc.c.tierHas(int(key))
+	copy(nc.frame(slot), data)
+	nc.insert(key, slot)
+	nc.used++
+	nc.dirty++
+	nc.writeAllocs++
+	nc.ackDRAM(cb)
+	nc.pumpFlush()
+	nc.pushUrgency()
+}
+
+// writeThrough is the frame-less fallback; it is not pinned alloc-free
+// (it only runs when the cache is saturated with dirty or pinned
+// frames).
+func (nc *nodeCache) writeThrough(st *Stream, key int64, data []byte, cb func(error)) {
+	st.vs.Write(int(key), data, func(err error) {
+		if err == nil {
+			nc.c.tierRelease(key)
+			nc.c.broadcastInv(nc.node, key)
+		}
+		cb(err)
+	})
+}
+
+// --- flush pump -------------------------------------------------------
+
+// pumpFlush keeps up to FlushDepth Background flush writes in flight
+// per node whenever dirty pages exist. Admission rides ftl.TagFlush →
+// sched.Background, throttled by the urgency tokens pushUrgency sets.
+//
+//simlint:hotpath
+func (nc *nodeCache) pumpFlush() {
+	c := nc.c
+	for nc.flushing < c.cfg.FlushDepth && nc.dirty > 0 {
+		slot := nc.nextDirty()
+		if slot < 0 {
+			return
+		}
+		e := &nc.entries[slot]
+		e.state = stWriting
+		e.redirty = false
+		nc.dirty--
+		nc.flushing++
+		fx := nc.getFlush()
+		fx.slot, fx.lpn = slot, e.lpn
+		// WriteBackground snapshots the frame synchronously, so later
+		// overwrites of the frame (which set redirty) cannot corrupt
+		// the in-flight flush payload.
+		c.v.WriteBackground(int(e.lpn), nc.frame(slot), fx.onDone)
+	}
+}
+
+// nextDirty sweeps for a dirty frame. Only called with nc.dirty > 0.
+//
+//simlint:hotpath
+func (nc *nodeCache) nextDirty() int32 {
+	n := len(nc.entries)
+	for i := 0; i < n; i++ {
+		h := nc.flushHand
+		nc.flushHand++
+		if nc.flushHand == n {
+			nc.flushHand = 0
+		}
+		if nc.entries[h].state == stDirty {
+			return int32(h)
+		}
+	}
+	return -1
+}
+
+// pushUrgency maps the node's dirty fraction onto the volume's
+// auxiliary Background urgency: 0 at or below low water, 1 at or
+// above high water — flushing stays a trickle until dirty pressure
+// builds, then the scheduler's token budget opens up exactly as it
+// does for GC.
+//
+//simlint:hotpath
+func (nc *nodeCache) pushUrgency() {
+	c := nc.c
+	p := (float64(nc.dirty+nc.flushing)/float64(len(nc.entries)) - c.cfg.FlushLowWater) /
+		(c.cfg.FlushHighWater - c.cfg.FlushLowWater)
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	if p == nc.lastUrg {
+		return
+	}
+	nc.lastUrg = p
+	c.v.SetAuxUrgency(nc.node, p)
+}
+
+// --- invalidation -----------------------------------------------------
+
+//simlint:hotpath
+func (c *Cache) getInv() *invMsg {
+	if n := len(c.freeInv); n > 0 {
+		m := c.freeInv[n-1]
+		c.freeInv[n-1] = nil
+		c.freeInv = c.freeInv[:n-1]
+		return m
+	}
+	//simlint:allow hotpath (pool-miss path: the message is built once and recycled forever after)
+	return &invMsg{}
+}
+
+//simlint:hotpath
+func (c *Cache) putInv(m *invMsg) {
+	c.freeInv = append(c.freeInv, m)
+}
+
+// broadcastInv tells every other node that lpn's flash copy changed.
+// Fired at flush / write-through completion (flash-visibility), not
+// at write admission — see the package comment for the coherence
+// contract.
+//
+//simlint:hotpath
+func (c *Cache) broadcastInv(from int, lpn int64) {
+	n := len(c.nodes)
+	if n <= 1 {
+		return
+	}
+	m := c.getInv()
+	m.lpn = lpn
+	m.refs = int32(n - 1)
+	c.invSent += int64(n - 1)
+	src := c.nodes[from].inv
+	for i := 0; i < n; i++ {
+		if i == from {
+			continue
+		}
+		if err := src.Send(fabric.NodeID(i), invBytes, m, nil); err != nil {
+			panic(fmt.Sprintf("cache: invalidation send to %d: %v", i, err))
+		}
+	}
+}
+
+// applyInv handles one inbound invalidation on this node.
+//
+//simlint:hotpath
+func (nc *nodeCache) applyInv(lpn int64) {
+	slot, ok := nc.lookup(lpn)
+	if !ok {
+		return
+	}
+	e := &nc.entries[slot]
+	switch e.state {
+	case stClean:
+		nc.invApplied++
+		nc.deleteIdx(lpn)
+		nc.used--
+		if e.pins > 0 {
+			// In-flight hit transfers still alias the frame: mark it
+			// dead and free it when the last pin drops.
+			e.state = stDead
+			return
+		}
+		nc.releaseSlot(slot)
+	case stFilling:
+		nc.invApplied++
+		nc.fillsPoisoned++
+		e.poisoned = true
+	case stDirty, stWriting:
+		// Local data is concurrent with the remote write; keep ours
+		// (last flusher wins).
+		nc.invIgnoredDirt++
+	}
+}
+
+// tierHas/tierRelease are nil-safe tier accessors for the hot paths.
+//
+//simlint:hotpath
+func (c *Cache) tierHas(lpn int) bool {
+	return c.tier != nil && c.tier.has(lpn)
+}
+
+//simlint:hotpath
+func (c *Cache) tierRelease(lpn int64) {
+	if c.tier != nil {
+		c.tier.release(int(lpn))
+	}
+}

@@ -1,0 +1,497 @@
+package experiments
+
+// The cache-tier experiment: quantifies the host-DRAM cache above the
+// logical volume (internal/cache) the way the paper's §7/Figure 21
+// cost argument is framed — how much DRAM does it take to get DRAM
+// latency, and what does each regime cost in watts?
+//
+// Two parts:
+//
+//   - Hit regimes: the same hot/cold read workload runs with the cache
+//     off, then with per-node capacity covering 10% / 50% / 90% of the
+//     hot set, then against a DRAM-cluster strawman (capacity covering
+//     the whole working set). Latency is measured client-side — cache
+//     hits never enter the flash scheduler, so the scheduler's own
+//     histograms cannot see them. Perf-per-watt weighs each arm's
+//     read throughput against its power budget: the flash arms at the
+//     appliance's cluster budget (Table 3 scaled), the strawman at a
+//     RAM-cloud budget sized to hold the same modeled dataset.
+//
+//   - Invalidation-heavy pair: cross-node writers churn a shared hot
+//     region while sparse realtime probes read it, with the cache on
+//     and off at identical offered load. Write-back makes every flush
+//     broadcast invalidations, so this is the cache's worst case; the
+//     headline is the probe p99 ratio (on/off), which must stay ~1.
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/hostmodel"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/volume"
+	"repro/internal/workload"
+)
+
+// CacheTierConfig sizes the experiment.
+type CacheTierConfig struct {
+	Nodes       int     `json:"nodes"`
+	Readers     int     `json:"readers"`      // hot/cold reader streams
+	Depth       int     `json:"depth"`        // outstanding per reader
+	Requests    int     `json:"requests"`     // completions per reader
+	HotDivisor  int     `json:"hot_divisor"`  // hot set = volume pages / divisor
+	HotFraction float64 `json:"hot_fraction"` // accesses landing in the hot set
+
+	InvalWriters  int `json:"inval_writers"`  // cross-node churn writers
+	InvalRequests int `json:"inval_requests"` // completions per writer
+
+	// FlashGBPerNode is the modeled per-node flash capacity the power
+	// comparison assumes (the simulated geometry is shrunk for run
+	// time; power is argued at the appliance's real scale, as the
+	// paper's Table 3 does).
+	FlashGBPerNode int `json:"flash_gb_per_node"`
+
+	Seed  uint64       `json:"seed"`
+	Sched sched.Config `json:"sched"`
+	FTL   ftl.Config   `json:"ftl"`
+}
+
+// DefaultCacheTier returns the standard shape: a 4-node cluster, two
+// readers per node, hot set an eighth of the volume. short cuts
+// request counts for smoke runs.
+func DefaultCacheTier(short bool) CacheTierConfig {
+	cfg := CacheTierConfig{
+		Nodes:          4,
+		Readers:        8,
+		Depth:          4,
+		Requests:       1024,
+		HotDivisor:     8,
+		HotFraction:    0.9,
+		InvalWriters:   4,
+		InvalRequests:  512,
+		FlashGBPerNode: 1024,
+		Seed:           42,
+		Sched:          sched.DefaultConfig(),
+		FTL:            ftl.DefaultConfig(),
+	}
+	cfg.Sched.MaxInflight = 16
+	cfg.Sched.BatchSize = 16
+	if short {
+		cfg.Nodes = 2
+		cfg.Readers = 4
+		cfg.Requests = 256
+		cfg.InvalWriters = 2
+		cfg.InvalRequests = 128
+	}
+	return cfg
+}
+
+// CacheRegimeArm is one hit-regime run.
+type CacheRegimeArm struct {
+	Name string `json:"name"`
+	// CapacityFrac is per-node cache capacity as a fraction of the hot
+	// set (0 = cache off, -1 = whole working set, the DRAM strawman).
+	CapacityFrac  float64 `json:"capacity_frac"`
+	CapacityPages int     `json:"capacity_pages_per_node"`
+
+	Result workload.HotColdResult `json:"result"`
+	Cache  cache.Stats            `json:"cache"`
+	Host   hostmodel.Stats        `json:"host"`
+	Volume volume.Stats           `json:"volume"`
+
+	Watts      float64 `json:"watts"`
+	KopsPerSec float64 `json:"kops_per_sec"`
+	OpsPerSecW float64 `json:"ops_per_sec_per_watt"`
+}
+
+// CacheInvalArm is one side of the invalidation-heavy pair.
+type CacheInvalArm struct {
+	Name   string                 `json:"name"`
+	Result workload.HotColdResult `json:"result"`
+	Cache  cache.Stats            `json:"cache"`
+	P99Us  float64                `json:"probe_p99_us"`
+}
+
+// CacheTierResult is the JSON-ready outcome.
+type CacheTierResult struct {
+	Config  CacheTierConfig  `json:"config"`
+	Regimes []CacheRegimeArm `json:"regimes"`
+
+	// MeanReadImprovementX is off-mean / 90%-regime-mean: the headline
+	// read-latency win from keeping 90% of the hot set DRAM-resident.
+	MeanReadImprovementX float64 `json:"mean_read_improvement_x"`
+
+	InvalOff CacheInvalArm `json:"inval_off"`
+	InvalOn  CacheInvalArm `json:"inval_on"`
+	// InvalidationP99RatioX is on/off probe p99 under the
+	// invalidation-heavy write mix; ~1.0 means coherence is free at
+	// the tail.
+	InvalidationP99RatioX float64 `json:"invalidation_p99_ratio_x"`
+}
+
+// cacheCapacity maps a regime fraction onto per-node frame count.
+func cacheCapacity(frac float64, hot, pages int) int {
+	if frac < 0 {
+		return pages
+	}
+	n := int(frac * float64(hot))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// volumePages reports the logical page count the experiment geometry
+// yields, without seeding anything (arms size their hot set and cache
+// capacity from it before building their real stack).
+func volumePages(cfg CacheTierConfig) (int, error) {
+	c, err := core.NewCluster(gcParams(cfg.Nodes))
+	if err != nil {
+		return 0, err
+	}
+	s, err := sched.New(c, cfg.Sched)
+	if err != nil {
+		return 0, err
+	}
+	vcfg := volume.DefaultConfig()
+	vcfg.FTL = cfg.FTL
+	v, err := volume.New(c, s, vcfg)
+	if err != nil {
+		return 0, err
+	}
+	return v.Pages(), nil
+}
+
+// cacheStack builds a fresh fully seeded cluster + volume, plus the
+// cache when capacityPages > 0.
+func cacheStack(cfg CacheTierConfig, capacityPages int, withTier bool) (*core.Cluster, *volume.Volume, *cache.Cache, error) {
+	c, err := core.NewCluster(gcParams(cfg.Nodes))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s, err := sched.New(c, cfg.Sched)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	vcfg := volume.DefaultConfig()
+	vcfg.FTL = cfg.FTL
+	v, err := volume.New(c, s, vcfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := workload.SeedVolume(v, c, v.Pages(), 64, cfg.Seed); err != nil {
+		return nil, nil, nil, err
+	}
+	var ca *cache.Cache
+	if capacityPages > 0 {
+		ccfg := cache.DefaultConfig(capacityPages)
+		if withTier {
+			ccfg.Tier = cache.DefaultTier()
+		}
+		if ca, err = cache.New(c, v, ccfg); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return c, v, ca, nil
+}
+
+// readerSpecs builds the hot/cold reader mix over the given surfaces
+// (one per reader, round-robin across nodes).
+func readerSpecs(cfg CacheTierConfig, surfaces []workload.PageRW, pages, hot int, record bool, seedSalt uint64) []workload.HotColdSpec {
+	specs := make([]workload.HotColdSpec, len(surfaces))
+	for i, rw := range surfaces {
+		specs[i] = workload.HotColdSpec{
+			Name:        fmt.Sprintf("rd%02d", i),
+			RW:          rw,
+			Pages:       pages,
+			HotPages:    hot,
+			HotFraction: cfg.HotFraction,
+			Record:      record,
+			Seed:        cfg.Seed ^ seedSalt + uint64(i)*1299709,
+		}
+	}
+	return specs
+}
+
+// hostDelta sums the per-node host-envelope deltas.
+func hostDelta(c *core.Cluster, base []hostmodel.Stats) hostmodel.Stats {
+	var out hostmodel.Stats
+	for n := 0; n < c.Nodes(); n++ {
+		d := c.Node(n).CPU.Stats().Delta(base[n])
+		out.DRAMBytesMoved += d.DRAMBytesMoved
+		out.DRAMTransfers += d.DRAMTransfers
+		out.CoreBusyMs += d.CoreBusyMs
+	}
+	return out
+}
+
+func hostBase(c *core.Cluster) []hostmodel.Stats {
+	base := make([]hostmodel.Stats, c.Nodes())
+	for n := range base {
+		base[n] = c.Node(n).CPU.Stats()
+	}
+	return base
+}
+
+// runCacheRegime runs one hit-regime arm on a fresh stack.
+func runCacheRegime(cfg CacheTierConfig, name string, frac float64) (CacheRegimeArm, error) {
+	arm := CacheRegimeArm{Name: name, CapacityFrac: frac}
+	// Capacity is resolved against the real (post-overprovision)
+	// volume size, probed without seeding.
+	pages, err := volumePages(cfg)
+	if err != nil {
+		return arm, err
+	}
+	hot := pages / cfg.HotDivisor
+	if frac != 0 {
+		arm.CapacityPages = cacheCapacity(frac, hot, pages)
+	}
+	c, v, ca, err := cacheStack(cfg, arm.CapacityPages, true)
+	if err != nil {
+		return arm, err
+	}
+	surfaces := make([]workload.PageRW, cfg.Readers)
+	for i := range surfaces {
+		if ca != nil {
+			st, err := ca.NewStream(fmt.Sprintf("rd%02d", i), i%cfg.Nodes, sched.Interactive)
+			if err != nil {
+				return arm, err
+			}
+			surfaces[i] = st
+		} else {
+			st, err := v.NewStream(fmt.Sprintf("rd%02d", i), sched.Interactive)
+			if err != nil {
+				return arm, err
+			}
+			surfaces[i] = st
+		}
+	}
+	// Warm unmeasured: populates the caches (and, with the cache off,
+	// equalizes FTL state across arms).
+	warm := readerSpecs(cfg, surfaces, v.Pages(), hot, false, 0x5eed)
+	if _, err := workload.RunHotCold(c, v.PageSize(), warm, cfg.Depth, cfg.Requests/4); err != nil {
+		return arm, err
+	}
+	volBase := v.Stats()
+	hBase := hostBase(c)
+	var cBase cache.Stats
+	if ca != nil {
+		cBase = ca.Stats()
+	}
+	res, err := workload.RunHotCold(c, v.PageSize(),
+		readerSpecs(cfg, surfaces, v.Pages(), hot, true, 0), cfg.Depth, cfg.Requests)
+	if err != nil {
+		return arm, err
+	}
+	if res.Loop.Errors > 0 {
+		return arm, fmt.Errorf("%d request errors", res.Loop.Errors)
+	}
+	arm.Result = res
+	arm.Volume = v.Stats().Delta(volBase)
+	arm.Host = hostDelta(c, hBase)
+	if ca != nil {
+		arm.Cache = ca.Stats().Delta(cBase)
+	}
+	if frac < 0 {
+		// DRAM strawman: a RAM cloud holding the appliance's modeled
+		// dataset (per-node flash capacity x nodes).
+		arm.Watts = power.RAMCloudBudget(cfg.Nodes*cfg.FlashGBPerNode, 256).Total()
+	} else {
+		arm.Watts = power.ClusterBudget(cfg.Nodes, gcParams(cfg.Nodes).CardsPerNode).Total()
+	}
+	if res.ElapsedUs > 0 {
+		ops := float64(res.Loop.Completed) * 1e6 / res.ElapsedUs
+		arm.KopsPerSec = ops / 1e3
+		if arm.Watts > 0 {
+			arm.OpsPerSecW = ops / arm.Watts
+		}
+	}
+	return arm, nil
+}
+
+// invalSpecs builds the invalidation-heavy mix: churn writers over a
+// shared hot region plus one sparse realtime probe per node.
+func invalSpecs(cfg CacheTierConfig, writers, probes []workload.PageRW, hot int, record bool, seedSalt uint64) []workload.HotColdSpec {
+	var specs []workload.HotColdSpec
+	for i, rw := range writers {
+		specs = append(specs, workload.HotColdSpec{
+			Name:          fmt.Sprintf("wr%02d", i),
+			RW:            rw,
+			Pages:         hot,
+			WriteFraction: 1.0,
+			Depth:         2,
+			ThinkTime:     2 * sim.Millisecond,
+			Seed:          cfg.Seed ^ seedSalt + 7 + uint64(i)*15485863,
+		})
+	}
+	for i, rw := range probes {
+		specs = append(specs, workload.HotColdSpec{
+			Name:      fmt.Sprintf("rt%02d", i),
+			RW:        rw,
+			Pages:     hot,
+			Requests:  -1,
+			Depth:     1,
+			ThinkTime: 500 * sim.Microsecond,
+			Record:    record,
+			Seed:      cfg.Seed ^ seedSalt + 13 + uint64(i)*32452843,
+		})
+	}
+	return specs
+}
+
+// runCacheInval runs one side of the invalidation pair.
+func runCacheInval(cfg CacheTierConfig, cached bool) (CacheInvalArm, error) {
+	arm := CacheInvalArm{Name: "cache-off"}
+	capacity := 0
+	pages, err := volumePages(cfg)
+	if err != nil {
+		return arm, err
+	}
+	hot := pages / cfg.HotDivisor
+	if cached {
+		arm.Name = "cache-on"
+		capacity = cacheCapacity(0.9, hot, 0)
+	}
+	c, v, ca, err := cacheStack(cfg, capacity, false)
+	if err != nil {
+		return arm, err
+	}
+	newRW := func(name string, node int, class sched.Class) (workload.PageRW, error) {
+		if ca != nil {
+			return ca.NewStream(name, node, class)
+		}
+		return v.NewStream(name, class)
+	}
+	writers := make([]workload.PageRW, cfg.InvalWriters)
+	for i := range writers {
+		if writers[i], err = newRW(fmt.Sprintf("wr%02d", i), i%cfg.Nodes, sched.Interactive); err != nil {
+			return arm, err
+		}
+	}
+	probes := make([]workload.PageRW, cfg.Nodes)
+	for i := range probes {
+		if probes[i], err = newRW(fmt.Sprintf("rt%02d", i), i, sched.Realtime); err != nil {
+			return arm, err
+		}
+	}
+	warm := invalSpecs(cfg, writers, probes, hot, false, 0x5eed)
+	if _, err := workload.RunHotCold(c, v.PageSize(), warm, 2, cfg.InvalRequests/4); err != nil {
+		return arm, err
+	}
+	var cBase cache.Stats
+	if ca != nil {
+		cBase = ca.Stats()
+	}
+	res, err := workload.RunHotCold(c, v.PageSize(),
+		invalSpecs(cfg, writers, probes, hot, true, 0), 2, cfg.InvalRequests)
+	if err != nil {
+		return arm, err
+	}
+	if res.Loop.Errors > 0 {
+		return arm, fmt.Errorf("%d request errors", res.Loop.Errors)
+	}
+	arm.Result = res
+	if ca != nil {
+		arm.Cache = ca.Stats().Delta(cBase)
+	}
+	arm.P99Us = res.Combined.P99Us
+	return arm, nil
+}
+
+// CacheTier runs the full experiment: hit-regime sweep plus the
+// invalidation-heavy pair.
+func CacheTier(cfg CacheTierConfig) (CacheTierResult, error) {
+	res := CacheTierResult{Config: cfg}
+	regimes := []struct {
+		name string
+		frac float64
+	}{
+		{"off", 0},
+		{"hit10", 0.1},
+		{"hit50", 0.5},
+		{"hit90", 0.9},
+		{"dram", -1},
+	}
+	for _, r := range regimes {
+		arm, err := runCacheRegime(cfg, r.name, r.frac)
+		if err != nil {
+			return res, fmt.Errorf("regime %s: %w", r.name, err)
+		}
+		res.Regimes = append(res.Regimes, arm)
+	}
+	var offMean, hit90Mean float64
+	for _, a := range res.Regimes {
+		switch a.Name {
+		case "off":
+			offMean = a.Result.Combined.MeanUs
+		case "hit90":
+			hit90Mean = a.Result.Combined.MeanUs
+		}
+	}
+	if hit90Mean > 0 {
+		res.MeanReadImprovementX = offMean / hit90Mean
+	}
+	var err error
+	if res.InvalOff, err = runCacheInval(cfg, false); err != nil {
+		return res, fmt.Errorf("inval cache-off: %w", err)
+	}
+	if res.InvalOn, err = runCacheInval(cfg, true); err != nil {
+		return res, fmt.Errorf("inval cache-on: %w", err)
+	}
+	if res.InvalOff.P99Us > 0 {
+		res.InvalidationP99RatioX = res.InvalOn.P99Us / res.InvalOff.P99Us
+	}
+	return res, nil
+}
+
+// FormatCacheTier renders the comparison.
+func FormatCacheTier(r CacheTierResult) string {
+	var t table
+	t.row("Regime", "cap/hot", "hit rate", "mean us", "p99 us", "Kops/s", "W", "ops/s/W", "demoted")
+	for _, a := range r.Regimes {
+		frac := "-"
+		if a.CapacityFrac > 0 {
+			frac = f2(a.CapacityFrac)
+		} else if a.CapacityFrac < 0 {
+			frac = "all"
+		}
+		t.row(a.Name, frac, f2(a.Cache.HitRate),
+			f1(a.Result.Combined.MeanUs), f1(a.Result.Combined.P99Us),
+			f1(a.KopsPerSec), f1(a.Watts), f2(a.OpsPerSecW),
+			fmt.Sprintf("%d", a.Cache.Demotions))
+	}
+	head := fmt.Sprintf(
+		"Cache tier: %d hot/cold readers, %d nodes, host-DRAM write-back cache above the volume\n"+
+			"mean read latency %.1f us (off) vs %.1f us (90%% hot set resident): %.1fx better\n",
+		r.Config.Readers, r.Config.Nodes,
+		offMeanOf(r), hit90MeanOf(r), r.MeanReadImprovementX)
+	inval := fmt.Sprintf(
+		"\nInvalidation-heavy: %d cross-node writers on the shared hot set + realtime probes\n"+
+			"probe p99 %.1f us (cache-on, %d invalidations) vs %.1f us (cache-off): %.2fx\n",
+		r.Config.InvalWriters,
+		r.InvalOn.P99Us, r.InvalOn.Cache.InvalidationsSent, r.InvalOff.P99Us,
+		r.InvalidationP99RatioX)
+	return head + t.String() + inval
+}
+
+func offMeanOf(r CacheTierResult) float64 {
+	for _, a := range r.Regimes {
+		if a.Name == "off" {
+			return a.Result.Combined.MeanUs
+		}
+	}
+	return 0
+}
+
+func hit90MeanOf(r CacheTierResult) float64 {
+	for _, a := range r.Regimes {
+		if a.Name == "hit90" {
+			return a.Result.Combined.MeanUs
+		}
+	}
+	return 0
+}

@@ -91,15 +91,20 @@ func (ep *Endpoint) SetEndToEnd(window int) {
 // the same index on node dst. onAccepted (optional) fires when the
 // local send buffer is free — the sender-side backpressure signal.
 // Messages to the same destination arrive in send order.
+//
+//simlint:hotpath
 func (ep *Endpoint) Send(dst NodeID, size int, payload any, onAccepted func()) error {
 	if int(dst) < 0 || int(dst) >= len(ep.node.net.nodes) {
+		//simlint:allow hotpath (caller-bug error path, not steady state)
 		return fmt.Errorf("%w: destination %d", ErrNoRoute, dst)
 	}
 	if size < 0 {
+		//simlint:allow hotpath (caller-bug error path, not steady state)
 		return fmt.Errorf("fabric: negative size %d", size)
 	}
 	if ep.e2eWindow > 0 {
 		if ep.credits[dst] == 0 {
+			//simlint:allow hotpath (e2e-blocked backlog growth is amortized; the per-dst queue retains capacity)
 			ep.blocked[dst] = append(ep.blocked[dst], blockedMsg{size: size, payload: payload, onAccepted: onAccepted})
 			return nil
 		}
@@ -115,6 +120,10 @@ func (ep *Endpoint) Send(dst NodeID, size int, payload any, onAccepted func()) e
 // (e2e credit returns) are invisible to the user-message stats: they
 // are link plumbing, not payload traffic, and counting them in Sent
 // made Sent != Received even when every user message arrived.
+// Segments come from the network's recycle pool, so the steady-state
+// send path allocates nothing.
+//
+//simlint:hotpath
 func (ep *Endpoint) transmitMsg(dst NodeID, size int, payload any, onAccepted func(), ctrl, wantAck bool) {
 	mtu := ep.node.net.cfg.MTU
 	if ctrl {
@@ -130,19 +139,15 @@ func (ep *Endpoint) transmitMsg(dst NodeID, size int, payload any, onAccepted fu
 			segBytes = mtu
 		}
 		last := remaining-segBytes == 0
-		seg := &segment{
-			src: ep.node.id, dst: dst, ep: ep.index,
-			last: last, payload: segBytes, msgBytes: size,
-			ctrl: ctrl, wantAck: wantAck,
-		}
+		seg := ep.node.net.getSeg()
+		seg.src, seg.dst, seg.ep = ep.node.id, dst, ep.index
+		seg.last, seg.payload, seg.msgBytes = last, segBytes, size
+		seg.ctrl, seg.wantAck = ctrl, wantAck
 		if last {
 			seg.body = payload
+			seg.onAcc = onAccepted
 		}
-		var acc func()
-		if last {
-			acc = onAccepted
-		}
-		if err := ep.node.inject(seg, acc); err != nil {
+		if err := ep.node.inject(seg); err != nil {
 			panic(fmt.Sprintf("fabric: inject failed after route check: %v", err))
 		}
 		remaining -= segBytes
@@ -155,6 +160,8 @@ func (ep *Endpoint) transmitMsg(dst NodeID, size int, payload any, onAccepted fu
 // receiveSegment reassembles inbound segments; segments of one message
 // arrive contiguously in order because routing is deterministic and
 // links are FIFO.
+//
+//simlint:hotpath
 func (ep *Endpoint) receiveSegment(seg *segment) {
 	if seg.ctrl {
 		// Credit return: unblock one queued send toward seg.src.

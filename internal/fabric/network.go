@@ -85,6 +85,13 @@ func DefaultConfig() Config {
 // Segments of one message arrive contiguously in order (routing is
 // deterministic per endpoint and links are FIFO), so no sequence
 // number is needed for reassembly.
+//
+// Segments are pooled per Network (getSeg/putSeg) and carry their
+// continuation callbacks pre-bound: one segment traverses inject →
+// transmit → arrive* → deliver entirely through the five closures
+// built once at pool-entry creation, so the steady-state send path —
+// including the cache tier's invalidation broadcasts — performs zero
+// allocations.
 type segment struct {
 	src, dst NodeID
 	ep       int  // logical endpoint index
@@ -94,6 +101,80 @@ type segment struct {
 	body     any  // user payload; carried on the last segment
 	ctrl     bool // end-to-end credit return, bypasses e2e windows
 	wantAck  bool // sender runs e2e flow control; return a credit
+
+	// traversal state, rebound at each step
+	net     *Network
+	curNode *Node     // node currently holding the segment
+	in      *halfLink // link the segment arrived on (credit held)
+	out     *halfLink // link the segment will leave on
+	onAcc   func()    // sender's onAccepted; last segment only
+
+	// pre-bound continuations (see getSeg)
+	injGrantFn func() // injection credit granted
+	fwdGrantFn func() // forwarding credit granted
+	arriveFn   func() // wire transfer finished
+	deliverFn  func() // internal switch delivered terminal segment
+	localFn    func() // internal switch delivered same-node segment
+}
+
+// getSeg pops a recycled segment, or builds one with its five
+// continuations bound to it. The closures read the segment's traversal
+// fields at fire time, so one set serves every flight of the segment.
+//
+//simlint:hotpath
+func (n *Network) getSeg() *segment {
+	if len(n.segFree) > 0 {
+		seg := n.segFree[len(n.segFree)-1]
+		n.segFree[len(n.segFree)-1] = nil
+		n.segFree = n.segFree[:len(n.segFree)-1]
+		return seg
+	}
+	//simlint:allow hotpath (pool-miss path: the segment and its five bound callbacks are built once and recycled via putSeg forever after)
+	seg := &segment{net: n}
+	//simlint:allow hotpath (bound once per pooled segment lifetime, not per send)
+	seg.injGrantFn = func() {
+		if seg.onAcc != nil {
+			seg.onAcc()
+		}
+		seg.curNode.transmit(seg)
+	}
+	//simlint:allow hotpath (bound once per pooled segment lifetime, not per send)
+	seg.fwdGrantFn = func() {
+		seg.in.credits.release()
+		seg.curNode.transmit(seg)
+	}
+	//simlint:allow hotpath (bound once per pooled segment lifetime, not per send)
+	seg.arriveFn = func() {
+		seg.out.to.arrive(seg)
+	}
+	//simlint:allow hotpath (bound once per pooled segment lifetime, not per send)
+	seg.deliverFn = func() {
+		in := seg.in // deliver recycles seg; read the credit first
+		seg.curNode.deliver(seg)
+		in.credits.release()
+	}
+	//simlint:allow hotpath (bound once per pooled segment lifetime, not per send)
+	seg.localFn = func() {
+		acc := seg.onAcc // deliver recycles seg; read the ack first
+		seg.curNode.deliver(seg)
+		if acc != nil {
+			acc()
+		}
+	}
+	return seg
+}
+
+// putSeg recycles a delivered (or dropped) segment. The caller must
+// guarantee no outstanding reference — every continuation of the
+// segment's current flight has fired or will never fire.
+//
+//simlint:hotpath
+func (n *Network) putSeg(seg *segment) {
+	seg.body = nil
+	seg.onAcc = nil
+	seg.curNode = nil
+	seg.in, seg.out = nil, nil
+	n.segFree = append(n.segFree, seg)
 }
 
 // halfLink is one direction of a physical link.
@@ -122,9 +203,15 @@ type halfLink struct {
 // Grants within each class stay in order, so per-flow segment
 // ordering is unaffected (a flow only ever injects at its source and
 // only ever forwards at transit nodes).
+// The waiter queue is a head-indexed ring over one backing slice:
+// popping advances head instead of reslicing, so the slice's capacity
+// is reused forever and steady-state enqueue/serve never allocates
+// (reslicing `q = q[1:]` would walk the backing array forward until
+// every append reallocates).
 type linkCredits struct {
 	free int
 	q    []linkWaiter
+	head int // index of the queue front within q
 }
 
 type linkWaiter struct {
@@ -132,15 +219,26 @@ type linkWaiter struct {
 	fn  func()
 }
 
+//simlint:hotpath
 func (lc *linkCredits) acquireFwd(fn func()) { lc.enqueue(linkWaiter{fwd: true, fn: fn}) }
+
+//simlint:hotpath
 func (lc *linkCredits) acquireInj(fn func()) { lc.enqueue(linkWaiter{fwd: false, fn: fn}) }
 
+//simlint:hotpath
 func (lc *linkCredits) enqueue(w linkWaiter) {
+	if lc.head > 0 && lc.head == len(lc.q) {
+		// Drained ring: rewind to the front of the backing array.
+		lc.q = lc.q[:0]
+		lc.head = 0
+	}
 	lc.q = append(lc.q, w)
 	lc.serve()
 }
 
 // release returns one credit and serves waiters.
+//
+//simlint:hotpath
 func (lc *linkCredits) release() {
 	lc.free++
 	lc.serve()
@@ -154,11 +252,13 @@ func (w linkWaiter) need() int {
 	return 2
 }
 
+//simlint:hotpath
 func (lc *linkCredits) serve() {
-	for len(lc.q) > 0 {
-		head := lc.q[0]
+	for lc.head < len(lc.q) {
+		head := lc.q[lc.head]
 		if lc.free >= head.need() {
-			lc.q = lc.q[1:]
+			lc.q[lc.head] = linkWaiter{}
+			lc.head++
 			lc.free--
 			head.fn()
 			continue
@@ -166,10 +266,12 @@ func (lc *linkCredits) serve() {
 		// Head is an injection and only the reserved credit remains:
 		// the first waiting forwarder may take it past the head.
 		if !head.fwd && lc.free == 1 {
-			for i := 1; i < len(lc.q); i++ {
+			for i := lc.head + 1; i < len(lc.q); i++ {
 				if lc.q[i].fwd {
 					w := lc.q[i]
-					lc.q = append(lc.q[:i], lc.q[i+1:]...)
+					copy(lc.q[i:], lc.q[i+1:])
+					lc.q[len(lc.q)-1] = linkWaiter{}
+					lc.q = lc.q[:len(lc.q)-1]
 					lc.free--
 					w.fn()
 					break
@@ -177,6 +279,10 @@ func (lc *linkCredits) serve() {
 			}
 		}
 		return
+	}
+	if lc.head > 0 {
+		lc.q = lc.q[:0]
+		lc.head = 0
 	}
 }
 
@@ -194,6 +300,11 @@ type Network struct {
 	cfg   Config
 	nodes []*Node
 	links []*Link
+
+	// segFree recycles wire segments and their bound continuations
+	// (getSeg/putSeg); the population converges on the peak number of
+	// segments simultaneously in flight.
+	segFree []*segment
 
 	// stats
 	Delivered  sim.Counter
@@ -413,59 +524,55 @@ func (nd *Node) routePort(ep int, dst NodeID) (int, error) {
 }
 
 // inject starts a segment from its source node: route lookup, token
-// acquire, wire transfer. onAccepted fires once the segment is on the
-// wire (source-side buffer freed), which is the sender's backpressure.
-func (nd *Node) inject(seg *segment, onAccepted func()) error {
+// acquire, wire transfer. The segment's onAcc fires once the segment
+// is on the wire (source-side buffer freed), which is the sender's
+// backpressure.
+//
+//simlint:hotpath
+func (nd *Node) inject(seg *segment) error {
+	seg.curNode = nd
 	if seg.dst == nd.id {
 		// Local delivery through the internal switch only.
-		nd.net.eng.After(nd.net.cfg.InternalLatency, func() {
-			nd.deliver(seg)
-			if onAccepted != nil {
-				onAccepted()
-			}
-		})
+		nd.net.eng.After(nd.net.cfg.InternalLatency, seg.localFn)
 		return nil
 	}
 	port, err := nd.routePort(seg.ep, seg.dst)
 	if err != nil {
 		return err
 	}
-	hl := nd.ports[port]
+	seg.out = nd.ports[port]
 	// Bubble flow control: a source injection must leave the reserved
 	// forwarding credit free. arrive() holds a segment's inbound
 	// credit while it waits for the outbound one (hold-and-wait), so a
 	// traffic cycle — a saturated ring — could otherwise fill every
 	// link and deadlock; with injections barred from the last credit,
 	// every cycle always retains a bubble and forwarded segments drain.
-	hl.credits.acquireInj(func() {
-		if onAccepted != nil {
-			onAccepted()
-		}
-		nd.transmit(hl, seg)
-	})
+	seg.out.credits.acquireInj(seg.injGrantFn)
 	return nil
 }
 
-// transmit puts a segment on a half-link; arrival is handled by the
-// peer's external switch.
-func (nd *Node) transmit(hl *halfLink, seg *segment) {
+// transmit puts a segment on its outbound half-link (seg.out); arrival
+// is handled by the peer's external switch.
+//
+//simlint:hotpath
+func (nd *Node) transmit(seg *segment) {
 	wire := seg.payload + nd.net.cfg.HeaderBytes
 	nd.net.SegsMoved.Inc()
 	nd.net.BytesMoved.Add(int64(seg.payload))
-	hl.pipe.Transfer(wire, func() {
-		hl.to.arrive(hl, seg)
-	})
+	seg.out.pipe.Transfer(wire, seg.arriveFn)
 }
 
 // arrive runs the external switch at a receiving node: deliver locally
-// or forward toward the destination. The inbound token is held until
-// the segment leaves this node, so congestion backpressures upstream.
-func (nd *Node) arrive(in *halfLink, seg *segment) {
+// or forward toward the destination. The inbound token (seg.in, the
+// link just traversed) is held until the segment leaves this node, so
+// congestion backpressures upstream.
+//
+//simlint:hotpath
+func (nd *Node) arrive(seg *segment) {
+	seg.in = seg.out
+	seg.curNode = nd
 	if seg.dst == nd.id {
-		nd.net.eng.After(nd.net.cfg.InternalLatency, func() {
-			nd.deliver(seg)
-			in.credits.release()
-		})
+		nd.net.eng.After(nd.net.cfg.InternalLatency, seg.deliverFn)
 		return
 	}
 	port, err := nd.routePort(seg.ep, seg.dst)
@@ -473,25 +580,29 @@ func (nd *Node) arrive(in *halfLink, seg *segment) {
 		// No route mid-path is a wiring bug: drop loudly.
 		panic(fmt.Sprintf("fabric: node %d cannot forward to %d: %v", nd.id, seg.dst, err))
 	}
-	out := nd.ports[port]
-	out.credits.acquireFwd(func() {
-		in.credits.release()
-		nd.transmit(out, seg)
-	})
+	seg.out = nd.ports[port]
+	seg.out.credits.acquireFwd(seg.fwdGrantFn)
 }
 
-// deliver hands a segment to its endpoint.
+// deliver hands a segment to its endpoint and recycles it. OnReceive
+// handlers that send from inside the callback draw fresh segments from
+// the pool (this one is recycled only after receiveSegment returns).
+//
+//simlint:hotpath
 func (nd *Node) deliver(seg *segment) {
 	ep, ok := nd.endpoints[seg.ep]
 	if !ok {
 		// Delivery to an unbound endpoint is silently dropped, like
 		// hardware writing to an unselected channel.
+		nd.net.putSeg(seg)
 		return
 	}
+	last, ctrl := seg.last, seg.ctrl
 	ep.receiveSegment(seg)
-	if seg.last && !seg.ctrl {
+	if last && !ctrl {
 		nd.net.Delivered.Inc()
 	}
+	nd.net.putSeg(seg)
 }
 
 // LinkUtilization reports the utilization of each direction of every

@@ -24,6 +24,14 @@ const TagGC IOTag = 0xFF
 // foreground I/O.
 const TagRebuild IOTag = 0xFE
 
+// TagFlush is the tag reserved by convention for cache write-back
+// traffic (internal/cache dirty-page flushes and tier migrations).
+// Like TagRebuild it is an ordinary tag to the FTL — its own write
+// frontier — but backends map it to the Background QoS class so
+// flushing dirty cache pages never competes with foreground I/O
+// except through the urgency token budget.
+const TagFlush IOTag = 0xFD
+
 // Backend is the flash transport under an FTL. The stock adapter
 // wraps a flashserver.Iface (ignoring tags); internal/volume supplies
 // a backend that routes each tag through a QoS class of the request

@@ -8,6 +8,7 @@ package hostmodel
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 )
@@ -65,6 +66,54 @@ func (c *CPU) Utilization() float64 {
 // data is available. All threads share the bandwidth.
 func (c *CPU) ReadDRAM(n int, fn func()) {
 	c.dram.Transfer(n, fn)
+}
+
+// Stats is a snapshot of the host envelope's consumption: how much of
+// the shared memory-bandwidth and core budget the software running on
+// this node has used. The bench JSONs report it per experiment arm so
+// memory-bandwidth pressure (DRAM-cache hits, ISP merge, host scans
+// all share the same pipe) is visible next to the latency numbers.
+// Exported floats are NaN/Inf-guarded like the sched/volume snapshots.
+type Stats struct {
+	DRAMBytesMoved  int64   `json:"dram_bytes_moved"`
+	DRAMTransfers   int64   `json:"dram_transfers"`
+	DRAMUtilization float64 `json:"dram_utilization"`
+	CPUUtilization  float64 `json:"cpu_utilization"`
+	CoreBusyMs      float64 `json:"core_busy_ms"`
+}
+
+// finite clamps NaN and ±Inf to 0 so exported stats stay JSON-safe.
+func finite(f float64) float64 {
+	if f != f || f > math.MaxFloat64 || f < -math.MaxFloat64 {
+		return 0
+	}
+	return f
+}
+
+// Stats returns the cumulative host-envelope counters.
+func (c *CPU) Stats() Stats {
+	return Stats{
+		DRAMBytesMoved:  c.dram.Transferred(),
+		DRAMTransfers:   c.dram.Transfers(),
+		DRAMUtilization: finite(c.dram.Utilization()),
+		CPUUtilization:  finite(c.Utilization()),
+		CoreBusyMs:      finite(float64(c.busy) / float64(sim.Millisecond)),
+	}
+}
+
+// Delta returns the counters accumulated since a prior snapshot. The
+// utilization fields are gauges over the whole run and keep their
+// current value (a windowed utilization would need the window's wall
+// time, which the caller has; the byte and transfer counters are what
+// per-arm comparisons need).
+func (s Stats) Delta(since Stats) Stats {
+	return Stats{
+		DRAMBytesMoved:  s.DRAMBytesMoved - since.DRAMBytesMoved,
+		DRAMTransfers:   s.DRAMTransfers - since.DRAMTransfers,
+		DRAMUtilization: s.DRAMUtilization,
+		CPUUtilization:  s.CPUUtilization,
+		CoreBusyMs:      finite(s.CoreBusyMs - since.CoreBusyMs),
+	}
 }
 
 // Thread is a software thread: a serial queue of compute work. Work on

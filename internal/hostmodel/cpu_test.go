@@ -94,3 +94,43 @@ func TestInvalidConfig(t *testing.T) {
 		t.Fatal("zero config accepted")
 	}
 }
+
+func TestStatsSnapshotAndDelta(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu, _ := New(eng, "h", Config{Cores: 4, DRAMBytesPerSec: 1_000_000_000})
+	cpu.ReadDRAM(1_000_000, nil)
+	cpu.NewThread().Do(50*sim.Microsecond, func() {})
+	eng.Run()
+	base := cpu.Stats()
+	if base.DRAMBytesMoved != 1_000_000 || base.DRAMTransfers != 1 {
+		t.Fatalf("base stats %+v", base)
+	}
+	if base.DRAMUtilization <= 0 || base.CPUUtilization <= 0 || base.CoreBusyMs <= 0 {
+		t.Fatalf("utilization gauges not populated: %+v", base)
+	}
+	cpu.ReadDRAM(500_000, nil)
+	cpu.ReadDRAM(500_000, nil)
+	eng.Run()
+	d := cpu.Stats().Delta(base)
+	if d.DRAMBytesMoved != 1_000_000 || d.DRAMTransfers != 2 {
+		t.Fatalf("delta %+v, want 1 MB over 2 transfers", d)
+	}
+	if d.CoreBusyMs != 0 {
+		t.Fatalf("delta core-busy %v, want 0 (no compute in window)", d.CoreBusyMs)
+	}
+}
+
+func TestStatsZeroTimeIsFinite(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu, _ := New(eng, "h", DefaultConfig())
+	s := cpu.Stats()
+	// At time zero every gauge must come back as a finite number, not
+	// NaN from a 0/0.
+	if s.DRAMUtilization != 0 || s.CPUUtilization != 0 || s.CoreBusyMs != 0 {
+		t.Fatalf("zero-time stats %+v", s)
+	}
+	d := s.Delta(s)
+	if d != (Stats{}) {
+		t.Fatalf("self-delta %+v, want zero", d)
+	}
+}

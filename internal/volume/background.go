@@ -1,0 +1,94 @@
+package volume
+
+import (
+	"fmt"
+
+	"repro/internal/ftl"
+)
+
+// Background-class I/O for the host-DRAM cache tier (internal/cache).
+//
+// Cache dirty-page flushes and cold-tier migrations are the volume's
+// third kind of housekeeping traffic after GC relocation and replica
+// rebuild: they must make progress without competing with foreground
+// tenants except through the scheduler's urgency token budget. Both
+// entry points ride ftl.TagFlush, which classOf maps to
+// sched.Background, and the cache reports its dirty-page pressure via
+// SetAuxUrgency — the same feedback loop GC (ftl hooks) and rebuild
+// (rebuildUrg floor) already use.
+
+// SetAuxUrgency sets an auxiliary Background-urgency floor for one
+// node, on behalf of a tier above the volume (the cache's dirty-page
+// pressure). The effective urgency pushed to the scheduler is the max
+// of the node's GC urgency, rebuild floor, and this value. Pass 0 to
+// clear. Out-of-range nodes are ignored.
+func (v *Volume) SetAuxUrgency(node int, u float64) {
+	if node < 0 || node >= len(v.auxUrg) {
+		return
+	}
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	if v.auxUrg[node] == u {
+		return
+	}
+	v.auxUrg[node] = u
+	v.cards[node*v.c.Params.CardsPerNode].pushUrgency()
+}
+
+// ReadBackground fetches a logical page on the Background class
+// (TagFlush) — used by the cache's demotion scan, which must not
+// perturb foreground latency. Mirror failover applies as for
+// Stream.Read.
+func (v *Volume) ReadBackground(lpn int, cb func(data []byte, err error)) {
+	if lpn < 0 || lpn >= v.Pages() {
+		cb(nil, fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	if v.cfg.Mirror {
+		v.readMirrored(lpn, ftl.TagFlush, cb)
+		return
+	}
+	cd, clpn := v.locate(lpn)
+	cd.f.ReadTagged(clpn, ftl.TagFlush, cb)
+}
+
+// WriteBackground stores a logical page on the Background class
+// (TagFlush) — the cache's dirty-page write-back path. The payload is
+// snapshotted before the call returns, exactly like Stream.Write, so
+// the cache may keep serving (and re-dirtying) its frame while the
+// flush is in flight. Mirrored volumes fan out to both copies.
+func (v *Volume) WriteBackground(lpn int, data []byte, cb func(err error)) {
+	if lpn < 0 || lpn >= v.Pages() {
+		cb(fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
+		return
+	}
+	if v.cfg.Mirror {
+		v.writeMirrored(lpn, data, ftl.TagFlush, cb)
+		return
+	}
+	cd, clpn := v.locate(lpn)
+	cd.f.WriteTagged(clpn, data, ftl.TagFlush, cb)
+}
+
+// TrimBackground drops a logical page without an admission cost (the
+// mapping update is host-side, as in Stream.Trim). The cache's tier
+// uses it to release flash capacity after a page has been demoted to
+// the altstore device.
+func (v *Volume) TrimBackground(lpn int) error {
+	if lpn < 0 || lpn >= v.Pages() {
+		return fmt.Errorf("%w: %d", ErrOutOfRange, lpn)
+	}
+	cd, clpn := v.locate(lpn)
+	if v.cfg.Mirror {
+		rep, rclpn := v.replicaOf(cd, clpn)
+		err := cd.f.Trim(clpn)
+		if rerr := rep.f.Trim(rclpn); err == nil {
+			err = rerr
+		}
+		return err
+	}
+	return cd.f.Trim(clpn)
+}

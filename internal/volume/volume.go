@@ -77,6 +77,7 @@ type Volume struct {
 	half    int     // mirrored: primary pages per card (perCard/2)
 
 	// mirroring state (see mirror.go)
+	auxUrg         []float64   // per-node urgency floor set by cache flush pressure
 	rebuildUrg     []float64   // per-node urgency floor while rebuilds run
 	freeFOs        []*failover // read fail-over context recycle pool
 	degradedReads  int64
@@ -115,6 +116,7 @@ func New(c *core.Cluster, s *sched.Scheduler, cfg Config) (*Volume, error) {
 	v.perCard = v.cards[0].f.LogicalPages()
 	v.half = v.perCard / 2
 	v.rebuildUrg = make([]float64, c.Nodes())
+	v.auxUrg = make([]float64, c.Nodes())
 	return v, nil
 }
 
@@ -470,6 +472,9 @@ func (cd *card) pushUrgency() {
 	if ru := v.rebuildUrg[cd.node]; ru > u {
 		u = ru
 	}
+	if au := v.auxUrg[cd.node]; au > u {
+		u = au
+	}
 	v.s.SetGCUrgency(cd.node, u)
 }
 
@@ -480,7 +485,7 @@ func (cd *card) pushUrgency() {
 // replica-rebuild traffic both ride the Background class, gated by
 // the urgency token budget.
 func classOf(tag ftl.IOTag) sched.Class {
-	if tag == ftl.TagGC || tag == ftl.TagRebuild {
+	if tag == ftl.TagGC || tag == ftl.TagRebuild || tag == ftl.TagFlush {
 		return sched.Background
 	}
 	if tag >= ftl.IOTag(sched.Accel) {

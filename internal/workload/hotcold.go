@@ -1,0 +1,247 @@
+package workload
+
+// Hot/cold traffic over any page-granular read/write surface. The
+// existing volume drivers (churn.go) measure latency at the
+// scheduler, which is the right vantage point for flash QoS — but the
+// cache tier serves hits from host DRAM without ever entering the
+// scheduler, so its latency must be measured where the client sees
+// it: issue-to-completion in virtual time. This driver does that,
+// and, because it targets the small PageRW surface instead of a
+// concrete stream type, the exact same workload can run against a
+// bare volume stream and a cache stream — the cache experiments'
+// off/on arms are literally the same traffic.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// PageRW is a page-granular I/O surface: volume.Stream and
+// cache.Stream both satisfy it.
+type PageRW interface {
+	Read(lpn int, cb func(data []byte, err error))
+	Write(lpn int, data []byte, cb func(err error))
+}
+
+// HotColdSpec describes one client stream with a skewed working set:
+// a fraction of accesses go to a small hot region, the rest spread
+// over the whole working set.
+type HotColdSpec struct {
+	Name string
+	// RW is the surface this stream drives (a cache or volume stream).
+	RW PageRW
+	// WriteFraction is the probability a request is an overwrite.
+	WriteFraction float64
+	// Pages bounds the working set to [0, Pages).
+	Pages int
+	// HotPages is the size of the hot region [0, HotPages); 0 makes
+	// the stream uniform over the working set.
+	HotPages int
+	// HotFraction is the probability an access lands in the hot region
+	// (default 0.9 when HotPages > 0).
+	HotFraction float64
+	// Requests overrides the driver's per-stream completion count
+	// (0 = driver default). -1 marks a probe stream: it issues until
+	// every non-probe stream finishes, then stops.
+	Requests int
+	// Depth overrides the per-stream outstanding window (0 = default).
+	Depth int
+	// ThinkTime, when non-zero, is the mean exponential pause between
+	// a completion and the next request.
+	ThinkTime sim.Time
+	// Record enables client-side read-latency capture for this stream.
+	Record bool
+	Seed   uint64
+}
+
+// LatencyStats summarises client-observed read latency.
+type LatencyStats struct {
+	Reads  int64   `json:"reads"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// StreamLatency pairs one recorded stream with its stats, in spec
+// order (deterministic — no map iteration anywhere near results).
+type StreamLatency struct {
+	Name    string       `json:"name"`
+	Latency LatencyStats `json:"latency"`
+}
+
+// HotColdResult aggregates a run.
+type HotColdResult struct {
+	Loop LoopResult `json:"loop"`
+	// Recorded holds per-stream latency for every spec with Record
+	// set, in spec order.
+	Recorded []StreamLatency `json:"recorded,omitempty"`
+	// Combined merges every recorded stream's read samples.
+	Combined LatencyStats `json:"combined"`
+	// ElapsedUs is the virtual time the run took (drain included).
+	ElapsedUs float64 `json:"elapsed_us"`
+}
+
+// summarize folds raw samples (virtual-time durations) into stats.
+func summarize(samples []sim.Time) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]sim.Time(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, s := range sorted {
+		sum += s.Micros()
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i].Micros()
+	}
+	return LatencyStats{
+		Reads:  int64(len(sorted)),
+		MeanUs: sum / float64(len(sorted)),
+		P50Us:  q(0.50),
+		P99Us:  q(0.99),
+		MaxUs:  sorted[len(sorted)-1].Micros(),
+	}
+}
+
+// RunHotCold drives every spec closed-loop against its own PageRW
+// surface until `requests` complete per non-probe stream, then
+// drains. pageSize sizes the reused write payloads. Read latency is
+// recorded client-side (issue to completion, virtual time) for every
+// Record stream. The run leaves the engine drained.
+func RunHotCold(c *core.Cluster, pageSize int, specs []HotColdSpec, depth, requests int) (HotColdResult, error) {
+	if depth <= 0 || requests <= 0 {
+		return HotColdResult{}, fmt.Errorf("workload: depth %d, requests %d", depth, requests)
+	}
+	if pageSize <= 0 {
+		return HotColdResult{}, fmt.Errorf("workload: page size %d", pageSize)
+	}
+	var res HotColdResult
+	primaries := 0
+	for i, sp := range specs {
+		if sp.RW == nil {
+			return HotColdResult{}, fmt.Errorf("workload: spec %d (%s): nil RW", i, sp.Name)
+		}
+		if sp.Pages <= 0 {
+			return HotColdResult{}, fmt.Errorf("workload: spec %d (%s): working set %d", i, sp.Name, sp.Pages)
+		}
+		if sp.HotPages < 0 || sp.HotPages > sp.Pages {
+			return HotColdResult{}, fmt.Errorf("workload: spec %d (%s): hot set %d of %d", i, sp.Name, sp.HotPages, sp.Pages)
+		}
+		if sp.Requests >= 0 {
+			primaries++
+		}
+	}
+	if primaries == 0 {
+		return HotColdResult{}, fmt.Errorf("workload: all %d streams are probes; nothing bounds the run", len(specs))
+	}
+	start := c.Eng.Now()
+	primariesLeft := primaries
+	recorded := make([][]sim.Time, len(specs))
+	for i, sp := range specs {
+		sp := sp
+		idx := i
+		rng := sim.NewRNG(sp.Seed ^ 0x407c01d)
+		page := make([]byte, pageSize)
+		rng.Bytes(page)
+		hotFrac := sp.HotFraction
+		if sp.HotPages > 0 && hotFrac <= 0 {
+			hotFrac = 0.9
+		}
+		probe := sp.Requests < 0
+		toIssue := requests
+		if sp.Requests > 0 {
+			toIssue = sp.Requests
+		}
+		myDepth := depth
+		if sp.Depth > 0 {
+			myDepth = sp.Depth
+		}
+		think := func() sim.Time {
+			ns := -math.Log(1-rng.Float64()) * float64(sp.ThinkTime)
+			if ns < 1 {
+				ns = 1
+			}
+			return sim.Time(ns)
+		}
+		nextLpn := func() int {
+			if sp.HotPages > 0 && rng.Float64() < hotFrac {
+				return rng.Intn(sp.HotPages)
+			}
+			return rng.Intn(sp.Pages)
+		}
+		inflight := 0
+		finished := false
+		var issueOne func()
+		complete := func(err error) {
+			inflight--
+			res.Loop.Completed++
+			if err != nil {
+				res.Loop.Errors++
+			}
+			if !probe && !finished && toIssue == 0 && inflight == 0 {
+				finished = true
+				primariesLeft--
+			}
+			if sp.ThinkTime > 0 {
+				c.Eng.After(think(), issueOne)
+			} else {
+				issueOne()
+			}
+		}
+		issueOne = func() {
+			for inflight < myDepth {
+				if probe {
+					if primariesLeft == 0 {
+						return
+					}
+				} else if toIssue == 0 {
+					return
+				} else {
+					toIssue--
+				}
+				inflight++
+				lpn := nextLpn()
+				if rng.Float64() < sp.WriteFraction {
+					sp.RW.Write(lpn, page, complete)
+				} else if sp.Record {
+					t0 := c.Eng.Now()
+					sp.RW.Read(lpn, func(_ []byte, err error) {
+						recorded[idx] = append(recorded[idx], c.Eng.Now()-t0)
+						complete(err)
+					})
+				} else {
+					sp.RW.Read(lpn, func(_ []byte, err error) { complete(err) })
+				}
+				if sp.ThinkTime > 0 {
+					return // one at a time; the pause paces the rest
+				}
+			}
+		}
+		if sp.ThinkTime > 0 {
+			for j := 0; j < myDepth; j++ {
+				c.Eng.After(think(), issueOne)
+			}
+		} else {
+			issueOne()
+		}
+	}
+	c.Run()
+	res.ElapsedUs = (c.Eng.Now() - start).Micros()
+	var all []sim.Time
+	for i, sp := range specs {
+		if !sp.Record {
+			continue
+		}
+		res.Recorded = append(res.Recorded, StreamLatency{Name: sp.Name, Latency: summarize(recorded[i])})
+		all = append(all, recorded[i]...)
+	}
+	res.Combined = summarize(all)
+	return res, nil
+}

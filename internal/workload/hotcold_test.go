@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/volume"
+)
+
+// hotColdStack builds a seeded single-purpose volume stack.
+func hotColdStack(t *testing.T, nodes int) (*core.Cluster, *volume.Volume) {
+	t.Helper()
+	p := core.DefaultParams(nodes)
+	p.Geometry.BlocksPerChip = 8
+	p.Geometry.PagesPerBlock = 8
+	c, err := core.NewCluster(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.New(c, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := volume.New(c, s, volume.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SeedVolume(v, c, v.Pages()/2, 16, 3); err != nil {
+		t.Fatal(err)
+	}
+	return c, v
+}
+
+// TestHotColdRecordsClientLatency: the driver records issue-to-
+// completion read latency per stream, and the summary is internally
+// consistent (p50 <= p99 <= max, mean positive).
+func TestHotColdRecordsClientLatency(t *testing.T) {
+	c, v := hotColdStack(t, 1)
+	st, err := v.NewStream("t", sched.Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := v.Pages() / 2
+	specs := []HotColdSpec{{
+		Name: "rd", RW: st, Pages: ws, HotPages: ws / 8,
+		Record: true, Seed: 11,
+	}}
+	res, err := RunHotCold(c, v.PageSize(), specs, 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loop.Completed != 128 || res.Loop.Errors != 0 {
+		t.Fatalf("completed/errors = %d/%d, want 128/0", res.Loop.Completed, res.Loop.Errors)
+	}
+	if len(res.Recorded) != 1 || res.Recorded[0].Name != "rd" {
+		t.Fatalf("recorded streams: %+v", res.Recorded)
+	}
+	l := res.Combined
+	if l.Reads != 128 {
+		t.Fatalf("recorded %d reads, want 128", l.Reads)
+	}
+	if l.MeanUs <= 0 || l.P50Us > l.P99Us || l.P99Us > l.MaxUs {
+		t.Fatalf("incoherent latency summary: %+v", l)
+	}
+	if res.ElapsedUs <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+// TestHotColdMixedAndProbe: a writing primary bounds the run while a
+// recorded probe stays live for exactly the primary's window; the
+// same seeds reproduce the same result.
+func TestHotColdMixedAndProbe(t *testing.T) {
+	run := func() HotColdResult {
+		c, v := hotColdStack(t, 1)
+		wr, err := v.NewStream("wr", sched.Batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := v.NewStream("rd", sched.Realtime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := v.Pages() / 2
+		specs := []HotColdSpec{
+			{Name: "wr", RW: wr, Pages: ws, WriteFraction: 1.0, Seed: 5},
+			{Name: "probe", RW: rd, Pages: ws, HotPages: ws / 8, Requests: -1,
+				Depth: 1, ThinkTime: 200 * sim.Microsecond, Record: true, Seed: 6},
+		}
+		res, err := RunHotCold(c, v.PageSize(), specs, 2, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	if a.Loop.Errors != 0 {
+		t.Fatalf("%d errors", a.Loop.Errors)
+	}
+	if a.Loop.Completed < 64 {
+		t.Fatalf("completed %d; primary alone should reach 64", a.Loop.Completed)
+	}
+	if a.Combined.Reads == 0 {
+		t.Fatal("probe recorded nothing")
+	}
+	b := run()
+	if a.Loop != b.Loop || a.Combined != b.Combined {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestHotColdSpecValidation: broken specs fail fast.
+func TestHotColdSpecValidation(t *testing.T) {
+	c, v := hotColdStack(t, 1)
+	st, err := v.NewStream("t", sched.Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]HotColdSpec{
+		{{Name: "nilrw", Pages: 8}},
+		{{Name: "nopages", RW: st}},
+		{{Name: "hotbig", RW: st, Pages: 8, HotPages: 9}},
+		{{Name: "allprobe", RW: st, Pages: 8, Requests: -1}},
+	}
+	for _, specs := range bad {
+		if _, err := RunHotCold(c, v.PageSize(), specs, 1, 8); err == nil {
+			t.Fatalf("spec %q accepted", specs[0].Name)
+		}
+	}
+}
