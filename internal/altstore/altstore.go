@@ -76,6 +76,8 @@ func (s *SSD) Replace() { s.dead = false }
 
 // Read fetches size bytes; sequential selects the prefetch-friendly
 // path. done runs when the data is in host memory.
+//
+//simlint:once done
 func (s *SSD) Read(size int, sequential bool, done func(error)) {
 	s.Reads.Inc()
 	s.access(size, sequential, done)
@@ -84,11 +86,14 @@ func (s *SSD) Read(size int, sequential bool, done func(error)) {
 // Write stores size bytes. The envelope model charges writes the same
 // command latency and interface bandwidth as reads — the published
 // numbers for the paper's M.2 drive are symmetric at this granularity.
+//
+//simlint:once done
 func (s *SSD) Write(size int, sequential bool, done func(error)) {
 	s.Writes.Inc()
 	s.access(size, sequential, done)
 }
 
+//simlint:once done
 func (s *SSD) access(size int, sequential bool, done func(error)) {
 	if s.dead {
 		done(ErrDead)
@@ -157,6 +162,8 @@ func (h *HDD) Fail() { h.dead = true }
 func (h *HDD) Replace() { h.dead = false }
 
 // Read fetches size bytes; non-sequential reads pay the seek.
+//
+//simlint:once done
 func (h *HDD) Read(size int, sequential bool, done func(error)) {
 	h.Reads.Inc()
 	h.access(size, sequential, done)
@@ -164,11 +171,14 @@ func (h *HDD) Read(size int, sequential bool, done func(error)) {
 
 // Write stores size bytes; non-sequential writes pay the seek. Media
 // rate is symmetric for a disk.
+//
+//simlint:once done
 func (h *HDD) Write(size int, sequential bool, done func(error)) {
 	h.Writes.Inc()
 	h.access(size, sequential, done)
 }
 
+//simlint:once done
 func (h *HDD) access(size int, sequential bool, done func(error)) {
 	if h.dead {
 		done(ErrDead)

@@ -179,6 +179,7 @@ func (n *Node) ReadLocal(card int, addr nand.Addr, cb func(data []byte, err erro
 	lanes := n.ispReadIfaces[card]
 	lane := n.ispReadRR[card] % len(lanes)
 	n.ispReadRR[card]++
+	//simlint:allow escapecheck (inlined flashserver read: the per-op completion record is audited at its declaration, hidden under NAND latency)
 	lanes[lane].ReadPhysical(addr, cb)
 }
 
@@ -237,6 +238,8 @@ func (n *Node) ISPWrite(a PageAddr, data []byte, cb func(err error)) {
 
 // remoteReq sends a request message on the next lane (round-robin) and
 // registers the completion.
+//
+//simlint:allow escapecheck (the request descriptor is captured by the lane send; one bounded message per remote op, hidden under fabric latency)
 func (n *Node) remoteReq(msg reqMsg, dst int, cb func(data []byte, err error)) {
 	msg.reqID = n.nextReq
 	msg.lane = int(n.nextReq % FlashLanes)
@@ -407,18 +410,22 @@ func (n *Node) SubmitHostBatch(reqs []HostReq, issued func()) {
 	}
 	h := n.Host.Config()
 	cost := h.SoftwareOverhead + sim.Time(len(reqs))*h.BatchRequestOverhead
+	//simlint:allow hotcall (one doorbell closure per batch, amortized over every request the batch carries)
 	n.ioThread.Do(cost, func() {
 		if issued != nil {
 			issued()
 		}
+		//simlint:allow escapecheck (one RPC continuation per batch, amortized like the doorbell closure above)
 		n.Host.RPC(func() {
 			for i := range reqs {
 				r := reqs[i]
 				done := r.Done
 				switch {
 				case r.Erase:
+					//simlint:allow escapecheck (per-request error adapter inside the batch loop; bounded by batch size and hidden under flash latency)
 					n.issueHostErase(r.Addr, r.Background, func(err error) { done(nil, err) })
 				case r.Write:
+					//simlint:allow escapecheck (per-request error adapter inside the batch loop; bounded by batch size and hidden under flash latency)
 					n.issueHostWrite(r.Addr, r.Data, r.Background, func(err error) { done(nil, err) })
 				default:
 					n.issueHostRead(r.Addr, r.Background, r.Done)

@@ -92,6 +92,8 @@ func DefaultConfig() Config {
 // built once at pool-entry creation, so the steady-state send path —
 // including the cache tier's invalidation broadcasts — performs zero
 // allocations.
+//
+//simlint:pool get=getSeg put=putSeg
 type segment struct {
 	src, dst NodeID
 	ep       int  // logical endpoint index
@@ -520,6 +522,7 @@ func (nd *Node) routePort(ep int, dst NodeID) (int, error) {
 	if tbl, ok := nd.routes[0]; ok && tbl[dst] >= 0 {
 		return tbl[dst], nil
 	}
+	//simlint:allow hotcall (error path: allocates only when no route exists, which fails the injection anyway)
 	return 0, fmt.Errorf("%w: node %d ep %d -> node %d", ErrNoRoute, nd.id, ep, dst)
 }
 

@@ -140,9 +140,11 @@ func (f *Iface) ReadPhysical(addr nand.Addr, cb func(data []byte, err error)) {
 	seq := f.nextSeq
 	f.nextSeq++
 	f.cbs[seq] = cb
+	//simlint:allow hotcall (per-op credit continuation: one bounded closure per in-flight flash command, hidden under NAND latency)
 	f.withCredit(func() {
 		tag := f.srv.nextTag
 		f.srv.nextTag++
+		//simlint:allow escapecheck (per-op completion record keyed by tag and seq; one bounded allocation per in-flight command, hidden under NAND latency)
 		op := &pageOp{iface: f, seq: seq, kind: flashctl.OpRead}
 		f.srv.inflight[tag] = op
 		if err := f.srv.port.Issue(flashctl.Command{Op: flashctl.OpRead, Tag: tag, Addr: addr}); err != nil {

@@ -123,6 +123,8 @@ type Thread struct {
 	cpu     *CPU
 	queue   []workItem
 	running bool
+	current workItem // the in-flight item; threads run strictly serially
+	step    func()   // bound once: run current, then pump the queue
 }
 
 type workItem struct {
@@ -130,9 +132,16 @@ type workItem struct {
 	fn   func()
 }
 
-// NewThread creates an idle thread.
+// NewThread creates an idle thread. The step continuation is bound
+// here once and reused for every work item, so the per-item dispatch
+// in next() allocates nothing.
 func (c *CPU) NewThread() *Thread {
-	return &Thread{cpu: c}
+	t := &Thread{cpu: c}
+	t.step = func() {
+		t.current.fn()
+		t.next()
+	}
+	return t
 }
 
 // Do queues fn to run after cost of compute. Ops on one thread are
@@ -156,6 +165,7 @@ func (t *Thread) next() {
 		return
 	}
 	item := t.queue[0]
+	t.queue[0] = workItem{}
 	t.queue = t.queue[1:]
 	// Time-sharing: with R runnable threads on C cores, each op takes
 	// R/C times longer once R > C.
@@ -164,8 +174,9 @@ func (t *Thread) next() {
 		eff = sim.Time(int64(eff) * int64(r) / int64(t.cpu.cfg.Cores))
 	}
 	t.cpu.busy += item.cost
-	t.cpu.eng.After(eff, func() {
-		item.fn()
-		t.next()
-	})
+	// A thread runs one item at a time (next is re-entered only from
+	// step), so parking it in t.current is safe and lets the bound step
+	// closure run it without a per-item capture.
+	t.current = item
+	t.cpu.eng.After(eff, t.step)
 }

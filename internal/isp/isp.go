@@ -82,6 +82,8 @@ func (s *Scheduler) Queued() int { return len(s.queue) }
 // are served FIFO. The queue check alongside busy keeps FIFO airtight:
 // a free unit with waiters queued (transient during a drain) must go
 // to the queue head, never to a fresh submission.
+//
+//simlint:once fn
 func (s *Scheduler) Submit(fn func(done func())) {
 	if s.busy < s.units && len(s.queue) == 0 {
 		s.busy++
@@ -93,6 +95,8 @@ func (s *Scheduler) Submit(fn func(done func())) {
 }
 
 // grant starts fn on an assigned unit with a single-shot done.
+//
+//simlint:once fn
 func (s *Scheduler) grant(fn func(done func())) {
 	s.Grants++
 	released := false

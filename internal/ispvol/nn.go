@@ -85,6 +85,8 @@ func nnBetter(d, id, bestDist, bestID int) bool {
 // Hamming-compares its share next to the flash. Asynchronous like
 // Search: done fires once the merged best has DMA'd into the origin
 // host's memory.
+//
+//simlint:once done
 func (sys *System) NearestNeighbor(origin int, item []byte, ids []int, lpns []int, done func(*NNResult, error)) {
 	if sys.v == nil {
 		done(nil, ErrNoVolume)
@@ -109,6 +111,8 @@ func (sys *System) NearestNeighbor(origin int, item []byte, ids []int, lpns []in
 // NearestNeighborFile is NearestNeighbor over a cluster-RFS file:
 // candidate ids[i] lives in file page pages[i]. The file must stay
 // read-stable for the query (the physical addresses are snapshots).
+//
+//simlint:once done
 func (sys *System) NearestNeighborFile(origin int, f *rfs.File, item []byte, ids []int, pages []int, done func(*NNResult, error)) {
 	if len(ids) != len(pages) {
 		done(nil, fmt.Errorf("ispvol: %d ids but %d pages", len(ids), len(pages)))
@@ -132,6 +136,8 @@ func (sys *System) NearestNeighborFile(origin int, f *rfs.File, item []byte, ids
 
 // launchNN registers the origin-side merge state and fans candidate
 // partitions out to the per-node engines.
+//
+//simlint:once done
 func (sys *System) launchNN(origin int, item []byte, ids []int, refs []pageRef, done func(*NNResult, error)) {
 	if origin < 0 || origin >= sys.c.Nodes() {
 		done(nil, fmt.Errorf("ispvol: origin %d out of range", origin))

@@ -77,6 +77,8 @@ type searchQuery struct {
 // workload window). Engine flash reads are admitted through the
 // scheduler's Accel class (or raw, under Bypass admission — the bug
 // reproduction arm).
+//
+//simlint:once done
 func (sys *System) Search(origin, lo, hi int, needle []byte, done func(*SearchResult, error)) {
 	pat, err := search.Compile(needle)
 	if err != nil {
@@ -104,6 +106,8 @@ func (sys *System) Search(origin, lo, hi int, needle []byte, done func(*SearchRe
 // offsets and page-edge residues for the origin's junction stitch.
 // The file must be read-stable for the duration of the query (the
 // physical addresses are snapshots; see rfs.File.PhysicalAddrs).
+//
+//simlint:once done
 func (sys *System) SearchFile(origin int, f *rfs.File, needle []byte, done func(*SearchResult, error)) {
 	pat, err := search.Compile(needle)
 	if err != nil {
@@ -120,6 +124,8 @@ func (sys *System) SearchFile(origin int, f *rfs.File, needle []byte, done func(
 
 // launchSearch registers the origin-side merge state and fans the
 // partitions out to the per-node engines.
+//
+//simlint:once done
 func (sys *System) launchSearch(origin, pages, ps int, parts [][]pageRef,
 	needle []byte, pat *search.Pattern, done func(*SearchResult, error)) {
 	if origin < 0 || origin >= sys.c.Nodes() {

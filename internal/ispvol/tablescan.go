@@ -71,6 +71,8 @@ type scanQuery struct {
 // [lo, hi): one filter engine per node, predicate evaluated next to
 // the flash, only matching records shipped to the origin and DMA'd to
 // its host. Asynchronous like Search.
+//
+//simlint:once done
 func (sys *System) TableScan(origin, lo, hi int, pred tablescan.Predicate, done func(*ScanResult, error)) {
 	parts, err := sys.partition(lo, hi)
 	if err != nil {
@@ -86,6 +88,8 @@ func (sys *System) TableScan(origin, lo, hi int, pred tablescan.Predicate, done 
 // the predicate next to the flash through the scheduler's Accel
 // admission. Like SearchFile, the file must stay read-stable for the
 // query.
+//
+//simlint:once done
 func (sys *System) TableScanFile(origin int, f *rfs.File, pred tablescan.Predicate, done func(*ScanResult, error)) {
 	addrs, err := f.PhysicalAddrs()
 	if err != nil {

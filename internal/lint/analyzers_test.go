@@ -32,6 +32,22 @@ func TestErrdrop(t *testing.T) {
 	linttest.Run(t, "testdata/errdrop", "internal/fixture", lint.Errdrop)
 }
 
+// The interprocedural analyzers. Hotcall runs alongside Hotpath so
+// annotated roots stay that analyzer's responsibility and the fixture
+// pins the division of labor; the CFG-based pair run alone.
+
+func TestHotcall(t *testing.T) {
+	linttest.Run(t, "testdata/hotcall", "internal/fixture", lint.Hotpath, lint.Hotcall)
+}
+
+func TestPoolleak(t *testing.T) {
+	linttest.Run(t, "testdata/poolleak", "internal/fixture", lint.Poolleak)
+}
+
+func TestOncedone(t *testing.T) {
+	linttest.Run(t, "testdata/oncedone", "internal/fixture", lint.Oncedone)
+}
+
 // Scope fences: the same fixture sources produce no findings when the
 // package sits on the other side of its analyzer's fence. Unused
 // suppressions (pseudo-check "simlint") are filtered: with the real

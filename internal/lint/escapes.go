@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Escapecheck cross-checks the AST-level hotpath/hotcall verdicts
+// against the real compiler's escape analysis. The AST analyzers see
+// syntactic allocation sources (literals, make, closures, boxing); the
+// compiler's `-gcflags=-m` output is ground truth about what actually
+// reaches the heap — including escapes the AST heuristics cannot see,
+// like a local whose address flows into a retained pointer.
+//
+// A finding is a heap allocation the compiler reports inside a
+// hotpath-reachable function (annotated //simlint:hotpath or reached
+// from one over the call graph) at a site where the AST suite saw
+// nothing: no hotpath/hotcall diagnostic at that file:line, suppressed
+// or not. Sites the AST suite already flags are skipped — one finding
+// per allocation, owned by the analyzer that explains it best.
+//
+// Escapecheck is not part of Analyzers(): it needs compiler output, so
+// it runs only through `cmd/simlint -escapes` (the Escapes function
+// here). Intentional heap traffic — one-time setup reached from hot
+// code behind a cold branch, amortized growth the allocator sees but
+// steady state never hits — carries an audited
+// `//simlint:allow escapecheck (reason)` on the allocation line.
+var Escapecheck = &Analyzer{
+	Name: "escapecheck",
+	Doc:  "compiler-reported heap allocation in a hotpath-reachable function the AST analyzers did not see",
+}
+
+// An EscapeSite is one heap-allocation decision parsed from
+// `go build -gcflags=-m` diagnostics.
+type EscapeSite struct {
+	File string // as printed by the compiler (relative to the build dir)
+	Line int
+	Col  int
+	Msg  string // e.g. "&request{...} escapes to heap", "moved to heap: buf"
+}
+
+// escapeLineRe matches one compiler diagnostic line.
+var escapeLineRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// ParseEscapes extracts the heap-allocation decisions from -m output.
+// Only positive decisions are kept: "escapes to heap", "moved to
+// heap:", and make/new allocation notes; "does not escape" and inlining
+// chatter are dropped.
+func ParseEscapes(out string) []EscapeSite {
+	var sites []EscapeSite
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := escapeLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !isHeapDecision(msg) {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		sites = append(sites, EscapeSite{File: m[1], Line: ln, Col: col, Msg: msg})
+	}
+	return sites
+}
+
+// isHeapDecision keeps the compiler messages that mean "this
+// allocates on the heap".
+func isHeapDecision(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.HasSuffix(msg, "escapes to heap") ||
+		strings.Contains(msg, "escapes to heap:") ||
+		strings.HasPrefix(msg, "moved to heap:")
+}
+
+// EscapeCheck diffs the compiler's escape sites against the AST
+// analyzers' hotpath verdicts over one snapshot, returning the sorted
+// escapecheck findings: compiler-visible heap allocations in
+// hot-reachable functions that no AST-level diagnostic covers.
+func EscapeCheck(snap *Snapshot, sites []EscapeSite) []Diagnostic {
+	rs := newRunState([]*Analyzer{Escapecheck})
+	for _, pkg := range snap.Pkgs {
+		for _, f := range pkg.Files {
+			rs.collectDirectives(pkg.Fset, f)
+		}
+	}
+
+	// The AST view: run hotpath+hotcall into a scratch sink with NO
+	// directives collected, so even suppressed findings register. A
+	// site the AST suite flagged — or that a reviewer already audited
+	// with //simlint:allow hotpath — is "seen": escapecheck only
+	// reports what slipped past the AST entirely.
+	scratch := newRunState([]*Analyzer{Hotpath, Hotcall})
+	for _, pkg := range snap.Pkgs {
+		Hotpath.Run(&Pass{Analyzer: Hotpath, Fset: pkg.Fset, Files: pkg.Files,
+			Pkg: pkg.Types, Info: pkg.Info, RelPath: pkg.RelPath, sink: scratch})
+	}
+	Hotcall.RunModule(&ModulePass{Analyzer: Hotcall, Snap: snap, sink: scratch})
+	astSeen := map[string]bool{}
+	for _, d := range scratch.diags {
+		astSeen[lineKey(d.Pos.Filename, d.Pos.Line)] = true
+	}
+
+	// The hot function set: annotated roots plus everything reachable,
+	// pruning the same audited-cold edges hotcall prunes.
+	cg := snap.CallGraph()
+	allowEdge := func(pos token.Pos) bool {
+		n := nodeAt(cg, pos)
+		if n == nil {
+			return false
+		}
+		return rs.suppress(Hotcall.Name, n.pkg.Fset.Position(pos))
+	}
+	reached := hotReachable(cg, allowEdge)
+
+	// Index hot declaration ranges by file for site lookup, and the
+	// lines spanned by panic calls: the AST suite exempts allocations
+	// on dying paths, so the cross-check holds the compiler's view to
+	// the same rule (a panic's fmt.Sprintf argument always escapes,
+	// and the process is gone before it matters).
+	type declRange struct {
+		start, end int
+		name       string
+	}
+	hotRanges := map[string][]declRange{}
+	panicLines := map[string]map[int]bool{}
+	for n := range reached {
+		pos := n.pkg.Fset.Position(n.decl.Pos())
+		end := n.pkg.Fset.Position(n.decl.End())
+		hotRanges[pos.Filename] = append(hotRanges[pos.Filename], declRange{
+			start: pos.Line, end: end.Line, name: n.name(),
+		})
+		ast.Inspect(n.decl, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := n.pkg.Info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			pl := panicLines[pos.Filename]
+			if pl == nil {
+				pl = map[int]bool{}
+				panicLines[pos.Filename] = pl
+			}
+			for l := n.pkg.Fset.Position(call.Pos()).Line; l <= n.pkg.Fset.Position(call.End()).Line; l++ {
+				pl[l] = true
+			}
+			return true
+		})
+	}
+
+	for _, site := range sites {
+		file := site.File
+		if !filepath.IsAbs(file) && snap.Root != "" {
+			file = filepath.Join(snap.Root, file)
+		}
+		var owner string
+		for _, r := range hotRanges[file] {
+			if site.Line >= r.start && site.Line <= r.end {
+				owner = r.name
+				break
+			}
+		}
+		if owner == "" {
+			continue // cold code: the compiler may allocate freely
+		}
+		if panicLines[file][site.Line] {
+			continue // dying path: exempt, like the AST suite
+		}
+		if astSeen[lineKey(file, site.Line)] {
+			continue // the AST suite already owns this site
+		}
+		rs.reportAt(Escapecheck.Name,
+			token.Position{Filename: file, Line: site.Line, Column: site.Col},
+			"compiler escape analysis: %s in hotpath-reachable %s, unseen by the AST analyzers", site.Msg, owner)
+	}
+
+	rs.finishUnused()
+	sortDiags(rs.diags)
+	return rs.diags
+}
+
+// Escapes runs the full -escapes mode: compile the patterns with
+// `go build -gcflags=-m`, parse the escape decisions, and cross-check
+// them against the snapshot. Building writes nothing (the go tool
+// discards the objects into its cache) but does real compilation, so
+// this is the one simlint mode that costs a build.
+func Escapes(snap *Snapshot, patterns ...string) ([]Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	out, err := compilerEscapes(snap.Root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return EscapeCheck(snap, ParseEscapes(out)), nil
+}
+
+// compilerEscapes runs the compiler over patterns and returns its -m
+// diagnostics. The go tool replays compiler output from the build
+// cache, so repeat runs are cheap.
+func compilerEscapes(root string, patterns []string) (string, error) {
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	return stderr.String(), nil
+}

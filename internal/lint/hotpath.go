@@ -73,6 +73,14 @@ type hotpathWalk struct {
 	p              *Pass
 	fn             *ast.FuncDecl
 	allowedAppends map[*ast.CallExpr]bool
+	// chain prefixes every finding when the walk runs on behalf of
+	// hotcall: the rendered call chain from the annotated root.
+	chain string
+}
+
+// report prefixes the hotcall chain (when present) onto the finding.
+func (h *hotpathWalk) report(pos token.Pos, format string, args ...any) {
+	h.p.Reportf(pos, h.chain+format, args...)
 }
 
 // walk inspects the body, skipping panic arguments and the interiors
@@ -82,12 +90,12 @@ func (h *hotpathWalk) walk(n ast.Node) {
 	ast.Inspect(n, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.FuncLit:
-			h.p.Reportf(x.Pos(), "closure allocated in hot path; bind the callback once at construction")
+			h.report(x.Pos(), "closure allocated in hot path; bind the callback once at construction")
 			return false
 		case *ast.UnaryExpr:
 			if x.Op == token.AND {
 				if _, ok := x.X.(*ast.CompositeLit); ok {
-					h.p.Reportf(x.Pos(), "&composite literal allocates in hot path; recycle from a pool")
+					h.report(x.Pos(), "&composite literal allocates in hot path; recycle from a pool")
 					return false
 				}
 			}
@@ -95,7 +103,7 @@ func (h *hotpathWalk) walk(n ast.Node) {
 			if t := h.p.TypeOf(x); t != nil {
 				switch t.Underlying().(type) {
 				case *types.Slice, *types.Map:
-					h.p.Reportf(x.Pos(), "%s literal allocates in hot path", typeKind(t))
+					h.report(x.Pos(), "%s literal allocates in hot path", typeKind(t))
 				}
 			}
 		case *ast.CallExpr:
@@ -113,12 +121,12 @@ func (h *hotpathWalk) call(call *ast.CallExpr) bool {
 		case "panic":
 			return false // dying: allocations on the way out are moot
 		case "make":
-			h.p.Reportf(call.Pos(), "make allocates in hot path")
+			h.report(call.Pos(), "make allocates in hot path")
 		case "new":
-			h.p.Reportf(call.Pos(), "new allocates in hot path")
+			h.report(call.Pos(), "new allocates in hot path")
 		case "append":
 			if !h.allowedAppends[call] && !isRecycledAppendArg(call) {
-				h.p.Reportf(call.Pos(), "append may grow a fresh slice in hot path; append to a recycled buffer (buf[:0] or a persistent field)")
+				h.report(call.Pos(), "append may grow a fresh slice in hot path; append to a recycled buffer (buf[:0] or a persistent field)")
 			}
 		}
 		return true
@@ -134,7 +142,7 @@ func (h *hotpathWalk) call(call *ast.CallExpr) bool {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if obj := h.p.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
 			if _, isMethod := h.p.Info.Selections[sel]; !isMethod {
-				h.p.Reportf(call.Pos(), "fmt.%s allocates in hot path", obj.Name())
+				h.report(call.Pos(), "fmt.%s allocates in hot path", obj.Name())
 				return true
 			}
 		}
@@ -181,7 +189,7 @@ func (h *hotpathWalk) boxing(arg ast.Expr, iface types.Type) {
 	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
 		return
 	}
-	h.p.Reportf(arg.Pos(), "converting %s to interface %s allocates in hot path; pass a pointer or avoid the interface", t, iface)
+	h.report(arg.Pos(), "converting %s to interface %s allocates in hot path; pass a pointer or avoid the interface", t, iface)
 }
 
 // paramType returns the effective type of argument i (expanding the

@@ -38,6 +38,15 @@ var (
 	sharedImporter = importer.ForCompiler(sharedFset, "source", nil)
 )
 
+// Load parses and type-checks the single fixture package in dir as if
+// it lived at relPath inside the module, for tests that drive
+// module-level entry points (lint.Snapshot, lint.EscapeCheck)
+// directly rather than through Run.
+func Load(t *testing.T, dir, relPath string) *lint.Package {
+	t.Helper()
+	return load(t, dir, relPath)
+}
+
 // Diags parses and type-checks the single fixture package in dir as if
 // it lived at relPath inside the module, runs the analyzers over it,
 // and returns the diagnostics (suppressions honored, unused ones

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Oncedone checks that a completion callback is invoked exactly once
+// on every path. A function taking a `done func(...)`-style parameter
+// opts in through its doc comment:
+//
+//	//simlint:once done
+//	func (s *Scheduler) Submit(fn Op, done func(error)) { ... }
+//
+// The bare form `//simlint:once` is accepted when the function has
+// exactly one func-typed parameter; otherwise naming is mandatory and
+// an ambiguous bare marker is itself a finding.
+//
+// Two finding classes, the two halves of the completion contract:
+//
+//   - a path that reaches return without invoking the callback — the
+//     caller hangs forever waiting on a completion that never fires
+//     (the silent cousin of the PR 5 failover-stall bug);
+//   - a path that may invoke it twice — the PR 3 over-grant class,
+//     where a double completion releases a token twice and
+//     overcommits the resource it guards.
+//
+// Passing the callback onward — as an argument, stored into a struct,
+// captured by a function literal — transfers the obligation: the new
+// owner completes it, and this function's paths are satisfied by the
+// handoff. (A handoff followed by a local invocation is NOT flagged:
+// the analysis cannot see whether the new owner fires it, so it stays
+// conservative.) Paths that end in panic are exempt. Intentional
+// exceptions carry `//simlint:allow oncedone (reason)`.
+var Oncedone = &Analyzer{
+	Name: "oncedone",
+	Doc:  "completion callback not invoked exactly once on every path",
+	Run:  runOncedone,
+}
+
+// onceMarkerRe parses `simlint:once [param]`.
+var onceMarkerRe = regexp.MustCompile(`^simlint:once(?:\s+(\w+))?\s*$`)
+
+// per-callback states (bitmask lattice).
+const (
+	osZero   uint8 = 1 << iota // not yet invoked
+	osCalled                   // invoked on this path
+	osHanded                   // obligation transferred elsewhere
+)
+
+func runOncedone(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			param, ok := onceParam(p, fd)
+			if !ok {
+				continue
+			}
+			if param == nil {
+				continue // malformed marker already reported
+			}
+			checkOnceUnit(p, fd, param)
+		}
+	}
+}
+
+// onceParam finds the //simlint:once marker of fd and resolves the
+// named (or sole func-typed) parameter object. The second result is
+// whether a marker exists at all. Marker-hygiene findings anchor on
+// the function name, not the comment — that is the declaration being
+// mis-marked, and it gives suppressions a code line to sit on.
+func onceParam(p *Pass, fd *ast.FuncDecl) (types.Object, bool) {
+	if fd.Doc == nil {
+		return nil, false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "simlint:once") {
+			continue
+		}
+		m := onceMarkerRe.FindStringSubmatch(text)
+		if m == nil {
+			p.Reportf(fd.Name.Pos(), "malformed once marker: want //simlint:once [param]")
+			return nil, true
+		}
+		return resolveOnceParam(p, fd, m[1], fd.Name.Pos()), true
+	}
+	return nil, false
+}
+
+func resolveOnceParam(p *Pass, fd *ast.FuncDecl, name string, markerPos token.Pos) types.Object {
+	var funcParams []*ast.Ident
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			obj := p.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if name != "" {
+				if id.Name == name {
+					if _, ok := obj.Type().Underlying().(*types.Signature); !ok {
+						p.Reportf(markerPos, "once parameter %s of %s is not func-typed", name, fd.Name.Name)
+						return nil
+					}
+					return obj
+				}
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				funcParams = append(funcParams, id)
+			}
+		}
+	}
+	if name != "" {
+		p.Reportf(markerPos, "once parameter %s not found on %s", name, fd.Name.Name)
+		return nil
+	}
+	if len(funcParams) != 1 {
+		p.Reportf(markerPos, "bare //simlint:once needs exactly one func-typed parameter on %s (found %d); name one", fd.Name.Name, len(funcParams))
+		return nil
+	}
+	return p.ObjectOf(funcParams[0])
+}
+
+// checkOnceUnit runs the exactly-once dataflow over the declared body.
+// Only the declaration's own paths are checked — a function literal
+// that captures the callback takes the obligation with it (handoff),
+// and its body is not re-checked here (we cannot know how many times
+// the closure itself runs).
+func checkOnceUnit(p *Pass, fd *ast.FuncDecl, param types.Object) {
+	tracked := map[types.Object]bool{param: true}
+	g := buildCFG(fd.Body)
+	be := extractBlockEvents(p, g, tracked, nil, nil, true)
+
+	reported := map[string]bool{}
+	reportOnce := func(key string, pos token.Pos, format string, args ...any) {
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		p.Reportf(pos, format, args...)
+	}
+
+	transfer := func(blk *cfgBlock, st flowState) flowState {
+		for _, ev := range be[blk] {
+			cur := st[ev.obj]
+			switch ev.kind {
+			case evInvoke:
+				if cur&osCalled != 0 {
+					reportOnce(fmt.Sprintf("dbl%d", ev.pos), ev.pos,
+						"callback %s may be invoked a second time here", ev.obj.Name())
+				}
+				st[ev.obj] = (cur | osCalled) &^ osZero
+			case evHandoff:
+				st[ev.obj] = (cur | osHanded) &^ osZero
+			}
+		}
+		return st
+	}
+	entry := flowState{param: osZero}
+	in := forwardFlow(g, entry, transfer)
+
+	exitState, ok := in[g.exit]
+	if !ok {
+		return // no path returns (infinite loop / always panics)
+	}
+	if exitState[param]&osZero != 0 {
+		reportOnce("zero", fd.Name.Pos(),
+			"callback %s is not invoked on some path to return: the caller waits forever", param.Name())
+	}
+}

@@ -182,6 +182,8 @@ func (c Config) validate() error {
 // request is one admitted (or coalesced) operation. class is the
 // scheduling class and may rise via priority inheritance; statClass
 // is the submitter's class and is what metrics are recorded under.
+//
+//simlint:pool get=getReq put=putReq
 type request struct {
 	class     Class
 	statClass Class

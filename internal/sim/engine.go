@@ -80,7 +80,11 @@ const (
 )
 
 // eventSlot is pooled per-event storage. Slots are reused; gen
-// increments on every release so stale handles miss.
+// increments on every release so stale handles miss. The pool trades
+// in int32 slot indexes rather than pointers; poolleak tracks the
+// handle the same way.
+//
+//simlint:pool get=alloc put=release
 type eventSlot struct {
 	at    Time
 	seq   uint64

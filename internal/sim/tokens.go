@@ -68,6 +68,7 @@ func (t *TokenPool) Acquire(n int, fn func()) {
 		return
 	}
 	t.blocked++
+	//simlint:allow escapecheck (inlined amortized ring growth: pushWaiter doubles the waiter ring, audited at its declaration)
 	t.pushWaiter(waiter{n: n, fn: fn})
 }
 

@@ -67,6 +67,8 @@ func (cd *card) available(clpn int) bool {
 // where the replica lives so the primary's completion can retry there
 // without allocating per-read closures (same recycling pattern as the
 // scheduler's request pool).
+//
+//simlint:pool get=getFailover put=putFailover
 type failover struct {
 	v      *Volume
 	rep    *card
@@ -158,14 +160,51 @@ func (v *Volume) readMirrored(lpn int, tag ftl.IOTag, cb func(data []byte, err e
 
 // --- mirrored writes --------------------------------------------------
 
-// mirrorWrite tracks one fan-out: the caller's callback fires once
-// both copies complete, succeeding if at least one copy landed.
+// mirrorWrite is the pooled context of one fan-out: the caller's
+// callback fires once both copies complete, succeeding if at least one
+// copy landed. Recycled on the volume exactly like the read fail-over
+// context, so the mirrored write path allocates nothing in steady
+// state.
+//
+//simlint:pool get=getMirrorWrite put=putMirrorWrite
 type mirrorWrite struct {
 	v         *Volume
 	remaining int
 	failed    int
 	firstErr  error
 	cb        func(error)
+
+	// bound once at pool entry creation, reused forever
+	onDone func(error)
+}
+
+// getMirrorWrite pops a recycled fan-out context (or allocates one,
+// binding its reusable completion callback).
+//
+//simlint:hotpath
+func (v *Volume) getMirrorWrite() *mirrorWrite {
+	if n := len(v.freeMWs); n > 0 {
+		mw := v.freeMWs[n-1]
+		v.freeMWs[n-1] = nil
+		v.freeMWs = v.freeMWs[:n-1]
+		return mw
+	}
+	//simlint:allow hotpath (pool-miss path: the context and its bound callback are built once and recycled via putMirrorWrite forever after)
+	mw := &mirrorWrite{v: v}
+	//simlint:allow hotpath (bound once per pooled context lifetime, not per write)
+	mw.onDone = func(err error) { mw.done(err) }
+	return mw
+}
+
+// putMirrorWrite recycles a finished context. The caller must
+// guarantee both copy completions have fired.
+//
+//simlint:hotpath
+func (v *Volume) putMirrorWrite(mw *mirrorWrite) {
+	mw.failed = 0
+	mw.firstErr = nil
+	mw.cb = nil
+	v.freeMWs = append(v.freeMWs, mw)
 }
 
 func (mw *mirrorWrite) done(err error) {
@@ -179,14 +218,18 @@ func (mw *mirrorWrite) done(err error) {
 	if mw.remaining > 0 {
 		return
 	}
-	switch mw.failed {
+	// Both completions are in: recycle before invoking the caller (the
+	// callback may issue another mirrored write that reuses the slot).
+	v, failed, firstErr, cb := mw.v, mw.failed, mw.firstErr, mw.cb
+	v.putMirrorWrite(mw)
+	switch failed {
 	case 0:
-		mw.cb(nil)
+		cb(nil)
 	case 1:
-		mw.v.degradedWrites++
-		mw.cb(nil)
+		v.degradedWrites++
+		cb(nil)
 	default:
-		mw.cb(fmt.Errorf("volume: both copies failed: %w", mw.firstErr))
+		cb(fmt.Errorf("volume: both copies failed: %w", firstErr))
 	}
 }
 
@@ -195,9 +238,10 @@ func (mw *mirrorWrite) done(err error) {
 func (v *Volume) writeMirrored(lpn int, data []byte, tag ftl.IOTag, cb func(err error)) {
 	pri, clpn := v.locate(lpn)
 	rep, rclpn := v.replicaOf(pri, clpn)
-	mw := &mirrorWrite{v: v, remaining: 2, cb: cb}
-	v.writeCopy(pri, clpn, data, tag, mw.done)
-	v.writeCopy(rep, rclpn, data, tag, mw.done)
+	mw := v.getMirrorWrite()
+	mw.remaining, mw.cb = 2, cb
+	v.writeCopy(pri, clpn, data, tag, mw.onDone)
+	v.writeCopy(rep, rclpn, data, tag, mw.onDone)
 }
 
 // deferredWrite is a tenant write parked behind an in-flight rebuild

@@ -77,9 +77,10 @@ type Volume struct {
 	half    int     // mirrored: primary pages per card (perCard/2)
 
 	// mirroring state (see mirror.go)
-	auxUrg         []float64   // per-node urgency floor set by cache flush pressure
-	rebuildUrg     []float64   // per-node urgency floor while rebuilds run
-	freeFOs        []*failover // read fail-over context recycle pool
+	auxUrg         []float64      // per-node urgency floor set by cache flush pressure
+	rebuildUrg     []float64      // per-node urgency floor while rebuilds run
+	freeFOs        []*failover    // read fail-over context recycle pool
+	freeMWs        []*mirrorWrite // mirrored-write fan-out recycle pool
 	degradedReads  int64
 	degradedWrites int64
 	pagesRebuilt   int64
@@ -290,6 +291,7 @@ func (st *Stream) PageSize() int { return st.v.PageSize() }
 // or uncorrectable fails over to the replica (see mirror.go).
 func (st *Stream) Read(lpn int, cb func(data []byte, err error)) {
 	if lpn < 0 || lpn >= st.v.Pages() {
+		//simlint:allow hotcall (error path: allocates only on an out-of-range read, which fails the op anyway)
 		cb(nil, fmt.Errorf("%w: %d", ErrOutOfRange, lpn))
 		return
 	}
